@@ -1,0 +1,63 @@
+package demeter_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"demeter/internal/experiments"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures at the
+// quick scale and prints the report once, so
+//
+//	go test -bench=. -benchmem ./...
+//
+// produces the full reproduction record. Experiments take seconds to
+// minutes each; the default benchtime runs each exactly once.
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		out := e.Run(s)
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			fmt.Printf("\n===== %s: %s =====\n%s\n", e.ID, e.Title, out)
+		}
+	}
+}
+
+// The paper's evaluation tables and figures.
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "figure2") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "figure4") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "figure6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "figure7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "figure12") }
+
+// Ablations of the design choices DESIGN.md calls out.
+
+func BenchmarkAblationDraining(b *testing.B)     { benchExperiment(b, "ablation-draining") }
+func BenchmarkAblationAddressSpace(b *testing.B) { benchExperiment(b, "ablation-translation") }
+func BenchmarkAblationRelocation(b *testing.B)   { benchExperiment(b, "ablation-relocation") }
+func BenchmarkAblationEvent(b *testing.B)        { benchExperiment(b, "ablation-event") }
+
+// BenchmarkAblationBalloon reuses the Figure 6 provisioning comparison,
+// which is exactly the double-vs-single balloon ablation.
+func BenchmarkAblationBalloon(b *testing.B) { benchExperiment(b, "figure6") }
+
+func BenchmarkAblationPML(b *testing.B)         { benchExperiment(b, "ablation-pml") }
+func BenchmarkAblationDAMON(b *testing.B)       { benchExperiment(b, "ablation-damon") }
+func BenchmarkAblationGranularity(b *testing.B) { benchExperiment(b, "ablation-granularity") }

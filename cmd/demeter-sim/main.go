@@ -1,0 +1,81 @@
+// Command demeter-sim runs the reproduction experiments: every table and
+// figure from the paper's evaluation, plus the design ablations.
+//
+// Usage:
+//
+//	demeter-sim list                 # show available experiments
+//	demeter-sim table1               # run one experiment
+//	demeter-sim all                  # run everything
+//	demeter-sim -scale tiny figure2  # quick smoke run
+//	demeter-sim -tier cxl figure10   # override the slow tier where applicable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"demeter/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or tiny")
+	vms := flag.Int("vms", 0, "override concurrent VM count (0 = scale default)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick()
+	case "tiny":
+		scale = experiments.Tiny()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *vms > 0 {
+		scale.VMs = *vms
+	}
+
+	switch arg := flag.Arg(0); arg {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+	case "all":
+		for _, e := range experiments.All() {
+			runOne(e, scale)
+		}
+	default:
+		e, ok := experiments.Get(arg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'demeter-sim list')\n", arg)
+			os.Exit(2)
+		}
+		runOne(e, scale)
+	}
+}
+
+func runOne(e experiments.Experiment, s experiments.Scale) {
+	fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+	fmt.Printf("    scale: %s, VMs: %d\n\n", s.Name, s.VMs)
+	start := time.Now()
+	fmt.Println(e.Run(s))
+	fmt.Printf("(completed in %.1fs)\n\n", time.Since(start).Seconds())
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `demeter-sim — Demeter (SOSP'25) reproduction harness
+
+usage: demeter-sim [flags] <experiment-id | list | all>
+
+flags:
+`)
+	flag.PrintDefaults()
+}

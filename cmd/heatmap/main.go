@@ -1,0 +1,21 @@
+// Command heatmap renders the Figure 4 access heat maps: LibLinear's
+// access density over time in guest virtual vs guest physical address
+// space, demonstrating why locality survives only in the virtual space.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"demeter/internal/experiments"
+)
+
+func main() {
+	tiny := flag.Bool("tiny", false, "use the tiny scale (fast smoke run)")
+	flag.Parse()
+	s := experiments.Quick()
+	if *tiny {
+		s = experiments.Tiny()
+	}
+	fmt.Print(experiments.Figure4(s))
+}

@@ -1,0 +1,15 @@
+// Command mlc is the Memory Latency Checker analog: it measures the
+// simulated machine's tier latency/bandwidth matrix (the paper's Table 2)
+// by running warm dependent-load loops against each tier through the full
+// hardware model.
+package main
+
+import (
+	"fmt"
+
+	"demeter/internal/experiments"
+)
+
+func main() {
+	fmt.Print(experiments.Table2(experiments.Quick()))
+}

@@ -1,0 +1,3 @@
+module demeter
+
+go 1.22

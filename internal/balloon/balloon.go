@@ -1,0 +1,279 @@
+// Package balloon implements tiered memory provisioning (TMP, §3.3): the
+// legacy VirtIO memory balloon and the Demeter double balloon.
+//
+// Both devices move free guest pages into a balloon (inflation) so the
+// host can reclaim their backing, and release them (deflation) when the
+// guest should grow. The crucial difference is tier awareness:
+//
+//   - The legacy balloon is a single device. Inflation requests pages
+//     from the guest allocator, which hands them out in its normal
+//     preference order — fast node first. Asking the guest to shrink by
+//     any amount therefore eats FMEM before SMEM, regardless of which
+//     tier the host actually wanted back. This is the severe FMEM
+//     under-provisioning Figure 6 quantifies.
+//
+//   - The Demeter balloon is one balloon per guest NUMA node, inflating
+//     and deflating at page granularity on exactly the tier the host
+//     targets. Each node's capacity is 100% of VM memory, so the FMEM:SMEM
+//     composition can move smoothly between all-fast and all-slow.
+//
+// All operations are fully asynchronous (§3.3 "Efficiency Through Full
+// Asynchrony"): the hypervisor posts requests on a virtqueue, the guest
+// driver executes them from a workqueue after the notification latency,
+// and completion interrupts release the host-side backing.
+package balloon
+
+import (
+	"fmt"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/sim"
+	"demeter/internal/virtio"
+)
+
+// CompBalloon is the ledger component for balloon driver work.
+const CompBalloon = "balloon"
+
+// perPageCost is the guest driver's cost to reserve or restore one page.
+const perPageCost = 150 * sim.Nanosecond
+
+// request kinds on the balloon queue.
+const (
+	opInflate = iota
+	opDeflate
+)
+
+type resizeBody struct {
+	node  int // guest node to take pages from; -1 = allocator order
+	count uint64
+}
+
+type resizeReply struct {
+	frames []mem.Frame
+}
+
+// Balloon is one balloon device instance: the hypervisor-side control
+// plane plus the guest driver state (the held-page list).
+type Balloon struct {
+	eng   *sim.Engine
+	vm    *hypervisor.VM
+	node  int // guest node this balloon targets; -1 = tier-unaware
+	queue *virtio.Queue
+	held  []mem.Frame
+
+	// Inflations/Deflations count completed page movements.
+	Inflations, Deflations uint64
+	// Shortfall counts pages requested for inflation that the guest
+	// could not free.
+	Shortfall uint64
+}
+
+// attach wires a balloon to a VM.
+func attach(eng *sim.Engine, vm *hypervisor.VM, node int, name string) *Balloon {
+	b := &Balloon{eng: eng, vm: vm, node: node}
+	b.queue = virtio.NewQueue(eng, name, 64)
+	b.queue.SetHandler(b.guestHandle)
+	return b
+}
+
+// NewLegacy attaches a tier-unaware VirtIO balloon.
+func NewLegacy(eng *sim.Engine, vm *hypervisor.VM) *Balloon {
+	return attach(eng, vm, -1, fmt.Sprintf("vm%d-virtio-balloon", vm.ID))
+}
+
+// Held returns the number of pages currently in the balloon.
+func (b *Balloon) Held() uint64 { return uint64(len(b.held)) }
+
+// guestHandle is the driver side: it runs after the kick latency and
+// dispatches the actual reservation to the workqueue (modelled as a
+// deferred completion after the work cost).
+func (b *Balloon) guestHandle(req *virtio.Request) {
+	body := req.Payload.(resizeBody)
+	work := sim.Duration(body.count) * perPageCost
+	b.vm.ChargeGuest(CompBalloon, work)
+	b.eng.After(work, func() {
+		switch req.Kind {
+		case opInflate:
+			var frames []mem.Frame
+			if body.node >= 0 {
+				frames = b.vm.Kernel.ReserveFree(body.node, body.count)
+			} else {
+				// Tier-unaware: the allocator's preference order decides,
+				// which means FMEM drains first.
+				frames = b.vm.Kernel.ReserveFree(0, body.count)
+				if missing := body.count - uint64(len(frames)); missing > 0 {
+					frames = append(frames, b.vm.Kernel.ReserveFree(1, missing)...)
+				}
+			}
+			b.held = append(b.held, frames...)
+			b.Inflations += uint64(len(frames))
+			b.Shortfall += body.count - uint64(len(frames))
+			req.Response = resizeReply{frames: frames}
+		case opDeflate:
+			n := body.count
+			if n > uint64(len(b.held)) {
+				n = uint64(len(b.held))
+			}
+			give := b.held[uint64(len(b.held))-n:]
+			b.held = b.held[:uint64(len(b.held))-n]
+			// When tier-targeted, return only this node's pages; the
+			// held list is homogeneous by construction.
+			b.vm.Kernel.Restore(give)
+			b.Deflations += uint64(len(give))
+			req.Response = resizeReply{}
+		}
+		b.queue.Complete(req)
+	})
+}
+
+// Inflate asks the guest to move count pages into the balloon; when the
+// completion interrupt arrives the hypervisor reclaims their backing and
+// calls onDone with the number of pages actually freed.
+func (b *Balloon) Inflate(count uint64, onDone func(freed uint64)) {
+	req := &virtio.Request{
+		Kind:    opInflate,
+		Payload: resizeBody{node: b.node, count: count},
+		OnComplete: func(r *virtio.Request) {
+			frames := r.Response.(resizeReply).frames
+			b.vm.ReleaseGuestFrames(frames)
+			if onDone != nil {
+				onDone(uint64(len(frames)))
+			}
+		},
+	}
+	if !b.queue.Submit(req) {
+		// Ring full: retry after the queue drains a bit.
+		b.eng.After(virtio.DefaultKickLatency, func() { b.Inflate(count, onDone) })
+	}
+}
+
+// Deflate returns count pages from the balloon to the guest allocator.
+func (b *Balloon) Deflate(count uint64, onDone func()) {
+	req := &virtio.Request{
+		Kind:    opDeflate,
+		Payload: resizeBody{node: b.node, count: count},
+		OnComplete: func(*virtio.Request) {
+			if onDone != nil {
+				onDone()
+			}
+		},
+	}
+	if !b.queue.Submit(req) {
+		b.eng.After(virtio.DefaultKickLatency, func() { b.Deflate(count, onDone) })
+	}
+}
+
+// MemStats is the guest telemetry published on the statistics queue
+// (§3.3 "QoS Policy Support").
+type MemStats struct {
+	FreeFMEM, FreeSMEM       uint64
+	BalloonFMEM, BalloonSMEM uint64
+	// SlowShare is the fraction of recent accesses served from SMEM — a
+	// direct memory-pressure signal for cross-VM QoS scheduling.
+	SlowShare float64
+	// When is the publication timestamp.
+	When sim.Time
+}
+
+// Double is the Demeter balloon: one balloon per guest NUMA node plus the
+// statistics queue.
+type Double struct {
+	FMEM, SMEM *Balloon
+
+	vm        *hypervisor.VM
+	eng       *sim.Engine
+	statsQ    *virtio.Queue
+	latest    MemStats
+	hasStats  bool
+	publisher *sim.Ticker
+	lastFast  uint64
+	lastSlow  uint64
+}
+
+// NewDouble attaches the double balloon to a VM.
+func NewDouble(eng *sim.Engine, vm *hypervisor.VM) *Double {
+	d := &Double{
+		FMEM: attach(eng, vm, 0, fmt.Sprintf("vm%d-demeter-balloon-fmem", vm.ID)),
+		SMEM: attach(eng, vm, 1, fmt.Sprintf("vm%d-demeter-balloon-smem", vm.ID)),
+		vm:   vm,
+		eng:  eng,
+	}
+	d.statsQ = virtio.NewQueue(eng, fmt.Sprintf("vm%d-demeter-stats", vm.ID), 16)
+	// The host is the responder on the stats queue: it files the report.
+	d.statsQ.SetHandler(func(req *virtio.Request) {
+		d.latest = req.Payload.(MemStats)
+		d.hasStats = true
+		d.statsQ.Complete(req)
+	})
+	return d
+}
+
+// StartStats begins periodic guest telemetry publication.
+func (d *Double) StartStats(period sim.Duration) {
+	if d.publisher != nil {
+		panic("balloon: stats publisher started twice")
+	}
+	d.publisher = d.eng.StartTicker(period, func(now sim.Time) {
+		st := d.vm.Stats()
+		fast, slow := st.FastHits-d.lastFast, st.SlowHits-d.lastSlow
+		d.lastFast, d.lastSlow = st.FastHits, st.SlowHits
+		var slowShare float64
+		if fast+slow > 0 {
+			slowShare = float64(slow) / float64(fast+slow)
+		}
+		freeF, freeS := d.vm.GuestFreeFrames()
+		d.vm.ChargeGuest(CompBalloon, 500) // stat collection cost
+		d.statsQ.Submit(&virtio.Request{Payload: MemStats{
+			FreeFMEM:    freeF,
+			FreeSMEM:    freeS,
+			BalloonFMEM: d.FMEM.Held(),
+			BalloonSMEM: d.SMEM.Held(),
+			SlowShare:   slowShare,
+			When:        now,
+		}})
+	})
+}
+
+// StopStats ends telemetry publication.
+func (d *Double) StopStats() {
+	if d.publisher != nil {
+		d.publisher.Stop()
+		d.publisher = nil
+	}
+}
+
+// LatestStats returns the most recent guest report.
+func (d *Double) LatestStats() (MemStats, bool) { return d.latest, d.hasStats }
+
+// SetProvision resizes both balloons so the guest's usable memory is
+// exactly (fmemFrames, smemFrames). Each guest node's capacity is the
+// maximum; the balloons hold the rest. onDone fires when both balloons
+// have settled.
+func (d *Double) SetProvision(fmemFrames, smemFrames uint64, onDone func()) {
+	pending := 2
+	settle := func() {
+		pending--
+		if pending == 0 && onDone != nil {
+			onDone()
+		}
+	}
+	d.resizeNode(d.FMEM, fmemFrames, settle)
+	d.resizeNode(d.SMEM, smemFrames, settle)
+}
+
+func (d *Double) resizeNode(b *Balloon, provision uint64, onDone func()) {
+	capacity := d.vm.Kernel.Topo.Nodes[b.node].Frames()
+	if provision > capacity {
+		panic(fmt.Sprintf("balloon: provision %d exceeds node capacity %d", provision, capacity))
+	}
+	targetHeld := capacity - provision
+	switch held := b.Held(); {
+	case targetHeld > held:
+		b.Inflate(targetHeld-held, func(uint64) { onDone() })
+	case targetHeld < held:
+		b.Deflate(held-targetHeld, onDone)
+	default:
+		d.eng.After(0, onDone)
+	}
+}

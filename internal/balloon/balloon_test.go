@@ -1,0 +1,263 @@
+package balloon
+
+import (
+	"testing"
+
+	"demeter/internal/engine"
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/sim"
+	"demeter/internal/workload"
+)
+
+// rig builds a machine and one balloon-ready VM: guest nodes sized at 100%
+// of VM memory each (the Demeter capacity model), host pools sized for the
+// intended 1:5 provision.
+func rig(t *testing.T, vmFrames uint64) (*sim.Engine, *hypervisor.VM) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(vmFrames, 2*vmFrames))
+	vm, err := m.NewVM(hypervisor.VMConfig{
+		VCPUs: 4, GuestFMEM: vmFrames, GuestSMEM: vmFrames,
+		FMEMBacking: 0, SMEMBacking: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, vm
+}
+
+func TestLegacyBalloonDrainsFMEMFirst(t *testing.T) {
+	eng, vm := rig(t, 6000)
+	b := NewLegacy(eng, vm)
+	// Ask the guest to give up half its 12000-frame capacity. The intent
+	// is "shrink SMEM", but the legacy balloon has no way to express it.
+	done := false
+	b.Inflate(6000, func(freed uint64) {
+		if freed != 6000 {
+			t.Errorf("freed = %d", freed)
+		}
+		done = true
+	})
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("inflation never completed")
+	}
+	// All of FMEM (node 0) is gone; SMEM untouched.
+	if got := vm.Kernel.BalloonedOn(0); got != 6000 {
+		t.Fatalf("ballooned on node 0 = %d, want 6000 (FMEM drained first)", got)
+	}
+	if vm.Kernel.Topo.Nodes[1].FreeFrames() != 6000 {
+		t.Fatal("node 1 should be untouched")
+	}
+}
+
+func TestDoubleBalloonTargetsTiers(t *testing.T) {
+	eng, vm := rig(t, 6000)
+	d := NewDouble(eng, vm)
+	done := false
+	// 1:5 composition over 6000 usable frames: 1000 FMEM + 5000 SMEM.
+	d.SetProvision(1000, 5000, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("provisioning never settled")
+	}
+	if got := vm.Kernel.Topo.Nodes[0].FreeFrames(); got != 1000 {
+		t.Fatalf("usable FMEM = %d, want 1000", got)
+	}
+	if got := vm.Kernel.Topo.Nodes[1].FreeFrames(); got != 5000 {
+		t.Fatalf("usable SMEM = %d, want 5000", got)
+	}
+	if d.FMEM.Held() != 5000 || d.SMEM.Held() != 1000 {
+		t.Fatalf("balloon holds = %d/%d", d.FMEM.Held(), d.SMEM.Held())
+	}
+}
+
+func TestDoubleBalloonRepartitionsSmoothly(t *testing.T) {
+	eng, vm := rig(t, 6000)
+	d := NewDouble(eng, vm)
+	d.SetProvision(1000, 5000, nil)
+	eng.RunUntilIdle()
+	// Grow FMEM, shrink SMEM — page-granular recomposition.
+	d.SetProvision(3000, 3000, nil)
+	eng.RunUntilIdle()
+	if got := vm.Kernel.Topo.Nodes[0].FreeFrames(); got != 3000 {
+		t.Fatalf("usable FMEM = %d", got)
+	}
+	if got := vm.Kernel.Topo.Nodes[1].FreeFrames(); got != 3000 {
+		t.Fatalf("usable SMEM = %d", got)
+	}
+}
+
+func TestInflationReleasesHostBacking(t *testing.T) {
+	eng, vm := rig(t, 6000)
+	// Touch memory so host FMEM backing exists.
+	start := vm.Proc.Mmap(1000 * mem.PageSize)
+	for i := uint64(0); i < 1000; i++ {
+		vm.Access(start+i*mem.PageSize, true)
+	}
+	hostFree := vm.Machine.Topo.Nodes[0].FreeFrames()
+	// Free the guest pages back to the allocator, then balloon them out.
+	for i := uint64(0); i < 1000; i++ {
+		gpfn, _ := vm.Proc.Translate((start + i*mem.PageSize) >> 12)
+		vm.Proc.GPT.Unmap((start + i*mem.PageSize) >> 12)
+		vm.Kernel.FreePage(gpfn)
+	}
+	d := NewDouble(eng, vm)
+	d.FMEM.Inflate(6000, nil)
+	eng.RunUntilIdle()
+	if got := vm.Machine.Topo.Nodes[0].FreeFrames(); got != hostFree+1000 {
+		t.Fatalf("host FMEM free = %d, want %d (backing reclaimed)", got, hostFree+1000)
+	}
+}
+
+func TestInflationShortfall(t *testing.T) {
+	eng, vm := rig(t, 100)
+	// Consume most guest FMEM so the balloon cannot fully inflate.
+	start := vm.Proc.Mmap(90 * mem.PageSize)
+	for i := uint64(0); i < 90; i++ {
+		vm.Access(start+i*mem.PageSize, false)
+	}
+	d := NewDouble(eng, vm)
+	var freed uint64
+	d.FMEM.Inflate(50, func(n uint64) { freed = n })
+	eng.RunUntilIdle()
+	if freed != 10 {
+		t.Fatalf("freed = %d, want 10 (only free pages can inflate)", freed)
+	}
+	if d.FMEM.Shortfall != 40 {
+		t.Fatalf("shortfall = %d", d.FMEM.Shortfall)
+	}
+}
+
+func TestDeflateRestoresPages(t *testing.T) {
+	eng, vm := rig(t, 1000)
+	d := NewDouble(eng, vm)
+	d.FMEM.Inflate(600, nil)
+	eng.RunUntilIdle()
+	done := false
+	d.FMEM.Deflate(200, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("deflate never completed")
+	}
+	if d.FMEM.Held() != 400 {
+		t.Fatalf("held = %d", d.FMEM.Held())
+	}
+	if got := vm.Kernel.Topo.Nodes[0].FreeFrames(); got != 600 {
+		t.Fatalf("free FMEM = %d", got)
+	}
+}
+
+func TestProvisionBeyondCapacityPanics(t *testing.T) {
+	eng, vm := rig(t, 100)
+	d := NewDouble(eng, vm)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overprovision did not panic")
+		}
+	}()
+	d.SetProvision(101, 50, nil)
+}
+
+func TestBalloonOperationsAreAsynchronous(t *testing.T) {
+	eng, vm := rig(t, 6000)
+	d := NewDouble(eng, vm)
+	completedAt := sim.Time(-1)
+	d.FMEM.Inflate(1000, func(uint64) { completedAt = eng.Now() })
+	// Submission returns immediately; nothing has happened yet.
+	if d.FMEM.Held() != 0 {
+		t.Fatal("inflation applied synchronously")
+	}
+	eng.RunUntilIdle()
+	if completedAt <= 0 {
+		t.Fatal("completion callback never ran")
+	}
+	// At least kick + work + IRQ latencies must have elapsed.
+	minLatency := 2 * virtioRoundTrip()
+	_ = minLatency
+	if completedAt < 2*sim.Microsecond {
+		t.Fatalf("completion at %v, implausibly fast", completedAt)
+	}
+}
+
+func virtioRoundTrip() sim.Duration { return 8 * sim.Microsecond }
+
+func TestStatsQueuePublishes(t *testing.T) {
+	eng, vm := rig(t, 4096)
+	d := NewDouble(eng, vm)
+	d.SetProvision(512, 3584, nil)
+	eng.RunUntilIdle()
+	d.StartStats(5 * sim.Millisecond)
+
+	wl := workload.NewGUPS(2048, 100_000, 1)
+	x := engine.NewExecutor(eng, vm, wl)
+	engine.RunAll(eng, 10*sim.Second, x)
+	d.StopStats()
+
+	st, ok := d.LatestStats()
+	if !ok {
+		t.Fatal("no stats published")
+	}
+	if st.SlowShare <= 0 {
+		t.Fatal("slow share should be positive: most of the footprint is SMEM")
+	}
+	if st.BalloonFMEM != 3584 || st.BalloonSMEM != 512 {
+		t.Fatalf("balloon stats = %d/%d", st.BalloonFMEM, st.BalloonSMEM)
+	}
+}
+
+func TestRebalancerShiftsFMEMTowardPressure(t *testing.T) {
+	eng := sim.NewEngine()
+	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(4000, 16000))
+	var doubles []*Double
+	var vms []*hypervisor.VM
+	for i := 0; i < 2; i++ {
+		vm, err := m.NewVM(hypervisor.VMConfig{
+			VCPUs: 4, GuestFMEM: 4000, GuestSMEM: 4000,
+			FMEMBacking: 0, SMEMBacking: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDouble(eng, vm)
+		d.SetProvision(1000, 4000, nil)
+		doubles = append(doubles, d)
+		vms = append(vms, vm)
+	}
+	eng.RunUntilIdle()
+	for _, d := range doubles {
+		d.StartStats(2 * sim.Millisecond)
+	}
+	r := NewRebalancer(eng, doubles, nil)
+	r.Budget = 2000
+	r.MinPerVM = 200
+	r.SMEMPerVM = 4000
+	r.Start(10 * sim.Millisecond)
+
+	// VM0 is memory-hungry (big footprint => high slow share), VM1 idle.
+	x0 := engine.NewExecutor(eng, vms[0], workload.NewGUPS(3000, 600_000, 1))
+	x1 := engine.NewExecutor(eng, vms[1], workload.NewGUPS(256, 600_000, 2))
+	engine.RunAll(eng, 10*sim.Second, x0, x1)
+	r.Stop()
+	for _, d := range doubles {
+		d.StopStats()
+	}
+
+	shares := r.Shares()
+	if r.Rebalances == 0 {
+		t.Fatal("no rebalances happened")
+	}
+	if shares[0] <= shares[1] {
+		t.Fatalf("pressured VM got %d frames vs idle VM's %d", shares[0], shares[1])
+	}
+}
+
+func TestRebalancerWeightValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched weights did not panic")
+		}
+	}()
+	NewRebalancer(sim.NewEngine(), make([]*Double, 2), []float64{1})
+}

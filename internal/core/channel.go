@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"demeter/internal/pebs"
+)
+
+// SampleChannel is the lock-free multi-producer single-consumer ring that
+// carries PEBS samples from context-switch draining (any vCPU) to the
+// classifier (one consumer), §3.2.2. Producers reserve slots with a CAS on
+// the tail and publish with a per-slot sequence word; the consumer never
+// takes a lock. Capacity must be a power of two. When the ring is full
+// samples are dropped and counted — hotness sampling is lossy by nature,
+// and blocking a context switch on a full ring would be far worse.
+//
+// The simulator itself is single-threaded, but the channel is a faithful
+// standalone implementation (tested under the race detector) because the
+// paper calls it out as a scalability ingredient.
+type SampleChannel struct {
+	mask    uint64
+	slots   []sampleSlot
+	head    uint64 // consumer cursor (owned by the single consumer)
+	tail    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+type sampleSlot struct {
+	seq    atomic.Uint64
+	sample pebs.Sample
+}
+
+// NewSampleChannel returns a channel with the given power-of-two capacity.
+func NewSampleChannel(capacity int) *SampleChannel {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("core: sample channel capacity must be a positive power of two")
+	}
+	c := &SampleChannel{
+		mask:  uint64(capacity - 1),
+		slots: make([]sampleSlot, capacity),
+	}
+	for i := range c.slots {
+		c.slots[i].seq.Store(uint64(i))
+	}
+	return c
+}
+
+// Push publishes one sample; it reports false (and counts a drop) when the
+// ring is full.
+func (c *SampleChannel) Push(s pebs.Sample) bool {
+	for {
+		tail := c.tail.Load()
+		slot := &c.slots[tail&c.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == tail:
+			// Slot free: claim it.
+			if c.tail.CompareAndSwap(tail, tail+1) {
+				slot.sample = s
+				slot.seq.Store(tail + 1) // publish
+				return true
+			}
+		case seq < tail:
+			// Slot still holds an unconsumed sample from a lap ago: full.
+			c.dropped.Add(1)
+			return false
+		default:
+			// Another producer claimed this slot; retry with a new tail.
+		}
+	}
+}
+
+// Pop removes the oldest sample. Only the single consumer may call it.
+func (c *SampleChannel) Pop() (pebs.Sample, bool) {
+	slot := &c.slots[c.head&c.mask]
+	if slot.seq.Load() != c.head+1 {
+		return pebs.Sample{}, false // not yet published
+	}
+	s := slot.sample
+	// Mark the slot reusable for the producer one lap ahead.
+	slot.seq.Store(c.head + uint64(len(c.slots)))
+	c.head++
+	return s, true
+}
+
+// Drain pops every available sample into fn and returns the count.
+func (c *SampleChannel) Drain(fn func(pebs.Sample)) int {
+	n := 0
+	for {
+		s, ok := c.Pop()
+		if !ok {
+			return n
+		}
+		fn(s)
+		n++
+	}
+}
+
+// Dropped returns the number of samples rejected on a full ring.
+func (c *SampleChannel) Dropped() uint64 { return c.dropped.Load() }
+
+// Len returns the number of buffered samples (approximate under
+// concurrent producers).
+func (c *SampleChannel) Len() int { return int(c.tail.Load() - c.head) }

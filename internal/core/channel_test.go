@@ -1,0 +1,167 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"demeter/internal/pebs"
+)
+
+func TestChannelFIFO(t *testing.T) {
+	c := NewSampleChannel(8)
+	for i := uint64(0); i < 5; i++ {
+		if !c.Push(pebs.Sample{GVPN: i}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		s, ok := c.Pop()
+		if !ok || s.GVPN != i {
+			t.Fatalf("pop %d = %v,%v", i, s, ok)
+		}
+	}
+	if _, ok := c.Pop(); ok {
+		t.Fatal("pop on empty channel succeeded")
+	}
+}
+
+func TestChannelFullDrops(t *testing.T) {
+	c := NewSampleChannel(4)
+	for i := uint64(0); i < 4; i++ {
+		c.Push(pebs.Sample{GVPN: i})
+	}
+	if c.Push(pebs.Sample{GVPN: 99}) {
+		t.Fatal("push on full ring succeeded")
+	}
+	if c.Dropped() != 1 {
+		t.Fatalf("dropped = %d", c.Dropped())
+	}
+	// Consuming frees slots for new pushes.
+	c.Pop()
+	if !c.Push(pebs.Sample{GVPN: 100}) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+func TestChannelWrapsAround(t *testing.T) {
+	c := NewSampleChannel(4)
+	for round := uint64(0); round < 10; round++ {
+		for i := uint64(0); i < 4; i++ {
+			if !c.Push(pebs.Sample{GVPN: round*4 + i}) {
+				t.Fatalf("round %d push %d failed", round, i)
+			}
+		}
+		for i := uint64(0); i < 4; i++ {
+			s, ok := c.Pop()
+			if !ok || s.GVPN != round*4+i {
+				t.Fatalf("round %d pop %d = %v,%v", round, i, s, ok)
+			}
+		}
+	}
+}
+
+func TestChannelCapacityValidation(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d accepted", n)
+				}
+			}()
+			NewSampleChannel(n)
+		}()
+	}
+}
+
+func TestChannelDrain(t *testing.T) {
+	c := NewSampleChannel(16)
+	for i := uint64(0); i < 10; i++ {
+		c.Push(pebs.Sample{GVPN: i})
+	}
+	var got []uint64
+	n := c.Drain(func(s pebs.Sample) { got = append(got, s.GVPN) })
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("drain = %d", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len after drain = %d", c.Len())
+	}
+}
+
+// TestChannelConcurrentProducers exercises the lock-free path with real
+// goroutines (meaningful under -race). Every successfully pushed sample
+// must be consumed exactly once; drops are allowed but double-delivery and
+// loss are not.
+func TestChannelConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 20000
+	c := NewSampleChannel(1 << 12)
+
+	var wg sync.WaitGroup
+	pushCounts := make([]uint64, producers)
+	stop := make(chan struct{})
+	seen := make(map[uint64]bool)
+	var duplicate uint64
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		consume := func(s pebs.Sample) bool {
+			if seen[s.GVPN] {
+				duplicate = s.GVPN
+				return false
+			}
+			seen[s.GVPN] = true
+			return true
+		}
+		for {
+			if s, ok := c.Pop(); ok {
+				if !consume(s) {
+					return
+				}
+				continue
+			}
+			select {
+			case <-stop:
+				for {
+					s, ok := c.Pop()
+					if !ok {
+						return
+					}
+					if !consume(s) {
+						return
+					}
+				}
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := uint64(p)<<32 | uint64(i)
+				if c.Push(pebs.Sample{GVPN: v}) {
+					pushCounts[p]++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	<-consumerDone
+
+	if duplicate != 0 {
+		t.Fatalf("duplicate sample %#x", duplicate)
+	}
+	var totalPushed uint64
+	for _, n := range pushCounts {
+		totalPushed += n
+	}
+	if uint64(len(seen)) != totalPushed {
+		t.Fatalf("consumed %d, pushed %d", len(seen), totalPushed)
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/pagetable"
+	"demeter/internal/pebs"
+	"demeter/internal/sim"
+)
+
+// Ledger component names (the Figure 7 breakdown categories).
+const (
+	CompTrack    = "track"
+	CompClassify = "classify"
+	CompMigrate  = "migrate"
+)
+
+// Config assembles all of Demeter's tunables.
+type Config struct {
+	// Params drives the range tree (α, τ_split, τ_merge, granularity).
+	Params Params
+	// EpochPeriod is t_split, the classification epoch (paper: 500 ms;
+	// scaled runs compress it together with every other period).
+	EpochPeriod sim.Duration
+	// SamplePeriod is the PEBS sampling period (paper: 4093).
+	SamplePeriod uint64
+	// LatencyThreshold is the PEBS load-latency filter (paper: 64 ns).
+	LatencyThreshold sim.Duration
+	// Event selects the PEBS trigger; Demeter uses the media-agnostic
+	// load-latency event (§3.2.2 "Event Selection").
+	Event pebs.Event
+	// ChannelCapacity sizes the MPSC sample ring (power of two).
+	ChannelCapacity int
+	// MigrationBatch caps pages promoted per epoch.
+	MigrationBatch int
+	// DrainAtContextSwitch selects Demeter's integrated draining. When
+	// false, a dedicated polling thread drains instead (the
+	// HeMem/Memtis-style ablation baseline).
+	DrainAtContextSwitch bool
+	// PollPeriod is the polling cadence when DrainAtContextSwitch is
+	// false.
+	PollPeriod sim.Duration
+	// TranslateSamples, when true, charges a software gVA→PA walk per
+	// sample (the overhead physical-space classifiers pay and Demeter's
+	// direct-gVA design avoids; ablation knob).
+	TranslateSamples bool
+	// MinHotSamples is the minimum decayed access count a range needs to
+	// source promotions: ranges whose counts are sampling noise must not
+	// trigger page movement.
+	MinHotSamples float64
+	// HysteresisRatio gates swapping: a promotion candidate's range must
+	// be at least this many times hotter (per page) than the demotion
+	// candidate's range. Without it, equal-temperature cold ranges at
+	// the FMEM boundary would swap back and forth every epoch.
+	HysteresisRatio float64
+	// SequentialRelocation, when true, replaces balanced swapping with
+	// the traditional demote-then-promote sequence through temporarily
+	// allocated pages (§3.2.3's criticized baseline; ablation knob).
+	// Each demotion under memory pressure also pays a direct-reclaim
+	// penalty, the cascading cost balanced swapping avoids.
+	SequentialRelocation bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Params:               DefaultParams(),
+		EpochPeriod:          500 * sim.Millisecond,
+		SamplePeriod:         4093,
+		LatencyThreshold:     64,
+		Event:                pebs.EventLoadLatency,
+		ChannelCapacity:      1 << 14,
+		MigrationBatch:       4096,
+		MinHotSamples:        8,
+		HysteresisRatio:      1.5,
+		DrainAtContextSwitch: true,
+		PollPeriod:           sim.Millisecond,
+	}
+}
+
+// Stats counts Demeter's activity.
+type Stats struct {
+	Samples      uint64 // samples drained from PEBS
+	Promoted     uint64
+	Demoted      uint64
+	Epochs       uint64
+	SwapPairs    uint64
+	FreePromotes uint64 // promotions into free FMEM (no demotion needed)
+}
+
+// Demeter is the guest-delegated TMM policy. One instance manages one VM.
+type Demeter struct {
+	Cfg Config
+
+	eng    *sim.Engine
+	vm     *hypervisor.VM
+	unit   *pebs.Unit
+	ch     *SampleChannel
+	tree   *RangeTree
+	ticker *sim.Ticker
+	poll   *sim.Ticker
+	active bool
+	stats  Stats
+}
+
+// New returns a detached Demeter policy.
+func New(cfg Config) *Demeter { return &Demeter{Cfg: cfg} }
+
+// Name identifies the policy in harness output.
+func (d *Demeter) Name() string { return "demeter" }
+
+// Stats returns a copy of the counters.
+func (d *Demeter) Stats() Stats { return d.stats }
+
+// Tree exposes the classifier for diagnostics and tests.
+func (d *Demeter) Tree() *RangeTree { return d.tree }
+
+// Attach arms EPT-friendly PEBS on the VM, builds the range tree over the
+// process's heap and mmap areas, hooks sample draining into the guest
+// scheduler and starts the epoch worker. The workload must have Setup its
+// regions already (Demeter reads the VMA layout at attach time).
+func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
+	if d.active {
+		panic("core: Demeter attached twice")
+	}
+	d.eng, d.vm, d.active = eng, vm, true
+
+	pcfg := pebs.DefaultConfig()
+	pcfg.SamplePeriod = d.Cfg.SamplePeriod
+	pcfg.LatencyThreshold = d.Cfg.LatencyThreshold
+	pcfg.Event = d.Cfg.Event
+	unit, err := pebs.NewUnit(pcfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad PEBS config: %v", err))
+	}
+	d.unit = unit
+	vm.PEBS = unit
+	if err := unit.Arm(); err != nil {
+		panic(fmt.Sprintf("core: PEBS arm failed: %v", err))
+	}
+
+	d.ch = NewSampleChannel(d.Cfg.ChannelCapacity)
+	d.tree = NewRangeTree(d.Cfg.Params, d.trackedRegions()...)
+
+	// Buffer overshoots raise PMIs whose handler drains immediately; the
+	// fixed low sample frequency keeps these rare (§3.2.2).
+	unit.OnPMI = func() {
+		vm.ChargeGuest(CompTrack, vm.Machine.Cost.PMICost)
+		d.drain()
+	}
+
+	if d.Cfg.DrainAtContextSwitch {
+		vm.Kernel.RegisterContextSwitchHook(func() {
+			if d.active {
+				d.drain()
+			}
+		})
+	} else {
+		// Ablation: dedicated polling thread, continuously burning CPU
+		// like HeMem's collection threads.
+		d.poll = eng.StartTicker(d.Cfg.PollPeriod, func(sim.Time) {
+			if !d.active {
+				return
+			}
+			vm.ChargeGuest(CompTrack, d.Cfg.PollPeriod/20) // 5% of a core
+			d.drain()
+		})
+	}
+
+	d.ticker = eng.StartTicker(d.Cfg.EpochPeriod, func(sim.Time) {
+		if d.active {
+			d.epoch()
+		}
+	})
+}
+
+// Detach stops all activity.
+func (d *Demeter) Detach() {
+	if !d.active {
+		return
+	}
+	d.active = false
+	d.ticker.Stop()
+	if d.poll != nil {
+		d.poll.Stop()
+	}
+	d.unit.Disarm()
+}
+
+// trackedRegions converts the process VMAs to page ranges, excluding
+// nothing because the modelled process has only heap and mmap areas (the
+// real system skips code/data/stack, §3.2.1).
+func (d *Demeter) trackedRegions() []Region {
+	var rs []Region
+	for _, r := range d.vm.Proc.Regions() {
+		rs = append(rs, Region{StartPage: r.Start >> 12, EndPage: (r.End + 4095) >> 12})
+	}
+	return rs
+}
+
+// drain moves PEBS samples into the MPSC channel. Each sample costs only
+// a copy — no page-table walk, because the gVA is directly what the
+// classifier wants (§3.2.2).
+func (d *Demeter) drain() {
+	samples := d.unit.Drain()
+	if len(samples) == 0 {
+		return
+	}
+	cost := sim.Duration(len(samples)) * d.vm.Machine.Cost.SampleHandleCost
+	if d.Cfg.TranslateSamples {
+		cost += sim.Duration(len(samples)) * d.vm.Machine.Cost.TranslateCost
+	}
+	d.vm.ChargeGuest(CompTrack, cost)
+	for _, s := range samples {
+		d.ch.Push(s)
+		d.stats.Samples++
+	}
+}
+
+// epoch consumes the channel, advances the classifier and relocates.
+func (d *Demeter) epoch() {
+	n := d.ch.Drain(func(s pebs.Sample) { d.tree.Record(s.GVPN) })
+	cm := &d.vm.Machine.Cost
+	d.vm.ChargeGuest(CompClassify, sim.Duration(n)*cm.PTEOpCost)
+	d.tree.EndEpoch(d.vm.VCPUs)
+	// Tree maintenance is proportional to the (small) leaf count.
+	d.vm.ChargeGuest(CompClassify, sim.Duration(d.tree.Leaves())*cm.PTEOpCost)
+	d.stats.Epochs++
+	d.relocate()
+}
+
+// fmemCapacity returns the guest FMEM frames usable by workloads (node
+// size minus balloon-held pages).
+func (d *Demeter) fmemCapacity() uint64 {
+	node := d.vm.Kernel.Topo.Nodes[0]
+	held := d.vm.Kernel.BalloonedOn(0)
+	if held >= node.Frames() {
+		return 0
+	}
+	return node.Frames() - held
+}
+
+// relocate implements §3.2.3: determine the hot cut [0, f), collect
+// promotion candidates misplaced in SMEM, collect exactly as many demotion
+// candidates from the coldest ranges, and swap them pairwise.
+func (d *Demeter) relocate() {
+	ranked := d.tree.Ranked()
+	fmemCap := d.fmemCapacity()
+
+	// ❶ Find the largest prefix of hot ranges fitting FMEM.
+	var cum uint64
+	f := 0
+	for _, r := range ranked {
+		if cum+r.Pages() > fmemCap {
+			break
+		}
+		cum += r.Pages()
+		f++
+	}
+	if f == 0 {
+		return
+	}
+
+	cm := &d.vm.Machine.Cost
+	gpt := d.vm.Proc.GPT
+	kernel := d.vm.Kernel
+	var scanCost sim.Duration
+
+	// ❷ Promotion candidates: hot-range pages resident in SMEM, tagged
+	// with their range's hotness for the hysteresis check.
+	type cand struct {
+		gvpn uint64
+		freq float64
+	}
+	var proms []cand
+	for i := 0; i < f && len(proms) < d.Cfg.MigrationBatch; i++ {
+		r := ranked[i]
+		if r.Count < d.Cfg.MinHotSamples {
+			continue // sampling noise, not evidence of heat
+		}
+		visited := gpt.ScanRange(r.StartPage, r.EndPage, func(gvpn uint64, e *pagetable.Entry) bool {
+			if kernel.NodeOfGPFN(mem.Frame(e.Value())) != 0 {
+				proms = append(proms, cand{gvpn, r.Freq})
+			}
+			return len(proms) < d.Cfg.MigrationBatch
+		})
+		scanCost += sim.Duration(visited) * cm.PTEOpCost
+	}
+	if len(proms) == 0 {
+		d.vm.ChargeGuest(CompMigrate, scanCost)
+		return
+	}
+
+	// Promotions into free FMEM need no demotion partner.
+	var migrateCost sim.Duration
+	free := kernel.Topo.Nodes[0].FreeFrames()
+	idx := 0
+	for ; idx < len(proms) && free > 0; idx++ {
+		cost, ok := d.vm.MigrateGuestPage(proms[idx].gvpn, 0)
+		if !ok {
+			break
+		}
+		migrateCost += cost
+		free--
+		d.stats.Promoted++
+		d.stats.FreePromotes++
+	}
+	proms = proms[idx:]
+
+	// ❸ Demotion candidates: coldest-range pages resident in FMEM,
+	// exactly len(proms) of them, scanned in reverse rank order.
+	var demos []cand
+	for i := len(ranked) - 1; i >= f && len(demos) < len(proms); i-- {
+		r := ranked[i]
+		visited := gpt.ScanRange(r.StartPage, r.EndPage, func(gvpn uint64, e *pagetable.Entry) bool {
+			if kernel.NodeOfGPFN(mem.Frame(e.Value())) == 0 {
+				demos = append(demos, cand{gvpn, r.Freq})
+			}
+			return len(demos) < len(proms)
+		})
+		scanCost += sim.Duration(visited) * cm.PTEOpCost
+	}
+
+	// ❸ Batched balanced swapping, one-to-one.
+	pairs := len(proms)
+	if len(demos) < pairs {
+		pairs = len(demos)
+	}
+	hysteresis := d.Cfg.HysteresisRatio
+	if hysteresis <= 0 {
+		hysteresis = 1
+	}
+	for k := 0; k < pairs; k++ {
+		// Swapping equal-temperature pages is pure churn: require the
+		// promotion side to be clearly hotter.
+		if proms[k].freq < demos[k].freq*hysteresis+1e-9 {
+			break
+		}
+		if d.Cfg.SequentialRelocation {
+			// Ablation: demote into SMEM first (paying direct reclaim on
+			// the pressured fast node), then promote into the freed slot.
+			dCost, ok := d.vm.MigrateGuestPage(demos[k].gvpn, 1)
+			if !ok {
+				continue
+			}
+			migrateCost += dCost + cm.GuestFaultCost // reclaim penalty
+			pCost, ok := d.vm.MigrateGuestPage(proms[k].gvpn, 0)
+			if ok {
+				migrateCost += pCost
+				d.stats.Promoted++
+			}
+			d.stats.Demoted++
+			continue
+		}
+		cost, err := d.vm.SwapGuestPages(proms[k].gvpn, demos[k].gvpn)
+		if err != nil {
+			panic(fmt.Sprintf("core: balanced swap failed: %v", err))
+		}
+		migrateCost += cost
+		d.stats.Promoted++
+		d.stats.Demoted++
+		d.stats.SwapPairs++
+	}
+	d.vm.ChargeGuest(CompMigrate, scanCost+migrateCost)
+}

@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"testing"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/sim"
+	"demeter/internal/workload"
+)
+
+func BenchmarkAccessPath(b *testing.B) {
+	eng := sim.NewEngine()
+	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(22000, 110000))
+	vm, _ := m.NewVM(hypervisor.VMConfig{VCPUs: 4, GuestFMEM: 22000, GuestSMEM: 110000, FMEMBacking: 0, SMEMBacking: 1})
+	wl := workload.NewGUPS(114688, 1<<40, 1)
+	wl.Setup(vm.Proc)
+	buf := make([]workload.Access, 4096)
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n, _ := wl.Fill(buf)
+		for i := 0; i < n && done < b.N; i++ {
+			vm.Access(buf[i].GVA, buf[i].Write)
+			done++
+		}
+	}
+	_ = sim.Second
+}

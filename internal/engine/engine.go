@@ -1,0 +1,253 @@
+// Package engine drives workloads through simulated VMs. An Executor is a
+// discrete-event actor: each activation runs a batch of guest memory
+// accesses through the VM's hardware path (TLB → walks → tiers), divides
+// the accumulated latency across the VM's vCPUs, folds in management
+// stalls charged by the TMM policy, fires guest context switches at the
+// scheduler quantum, and reschedules itself at the simulated completion
+// time. Nine executors on one engine model the paper's nine concurrent
+// VMs with zero shared-state races: the event queue serializes everything.
+package engine
+
+import (
+	"fmt"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/sim"
+	"demeter/internal/stats"
+	"demeter/internal/workload"
+)
+
+// Defaults.
+const (
+	DefaultBatchSize = 2048
+	DefaultTimeslice = sim.Millisecond
+	// DefaultPerAccessCompute is the CPU work between memory accesses
+	// (index arithmetic, RNG, the non-load part of an RMW). It calibrates
+	// simulated throughput to the paper's measured GUPS rates.
+	DefaultPerAccessCompute = 200 * sim.Nanosecond
+)
+
+// Executor runs one workload inside one VM.
+type Executor struct {
+	VM *hypervisor.VM
+	WL workload.Workload
+
+	// BatchSize is the number of accesses simulated per activation.
+	BatchSize int
+	// Timeslice is the guest scheduler quantum; context-switch hooks
+	// (Demeter's sample draining) fire at this cadence.
+	Timeslice sim.Duration
+	// PerAccessCompute is CPU work charged per access on top of the
+	// memory system cost.
+	PerAccessCompute sim.Duration
+	// TxnHist, when set and the workload is Transactional, records
+	// per-transaction latencies (Figure 12).
+	TxnHist *stats.Histogram
+	// OnFinish runs when the workload completes.
+	OnFinish func(*Executor)
+
+	eng        *sim.Engine
+	buf        []workload.Access
+	txnSize    int
+	initOps    uint64
+	opsDone    uint64
+	sinceCtx   sim.Duration
+	started    bool
+	finished   bool
+	startedAt  sim.Time
+	finishedAt sim.Time
+}
+
+// NewExecutor wires a workload to a VM. The workload's Setup runs
+// immediately (regions are reserved before simulation starts).
+func NewExecutor(eng *sim.Engine, vm *hypervisor.VM, wl workload.Workload) *Executor {
+	x := &Executor{
+		VM:               vm,
+		WL:               wl,
+		BatchSize:        DefaultBatchSize,
+		Timeslice:        DefaultTimeslice,
+		PerAccessCompute: DefaultPerAccessCompute,
+		eng:              eng,
+	}
+	if tx, ok := wl.(workload.Transactional); ok {
+		x.txnSize = tx.TxnAccesses()
+	}
+	wl.Setup(vm.Proc)
+	x.initOps = wl.InitOps()
+	return x
+}
+
+// Start schedules the first activation.
+func (x *Executor) Start() {
+	if x.started {
+		panic("engine: executor started twice")
+	}
+	x.started = true
+	x.startedAt = x.eng.Now()
+	x.buf = make([]workload.Access, x.BatchSize)
+	x.eng.After(0, x.slice)
+}
+
+// OpsDone returns the number of accesses executed so far.
+func (x *Executor) OpsDone() uint64 { return x.opsDone }
+
+// Finished reports completion.
+func (x *Executor) Finished() bool { return x.finished }
+
+// Runtime returns the workload's simulated wall time; valid after finish.
+func (x *Executor) Runtime() sim.Duration {
+	if !x.finished {
+		panic("engine: Runtime before finish")
+	}
+	return x.finishedAt - x.startedAt
+}
+
+// FinishedAt returns the completion timestamp.
+func (x *Executor) FinishedAt() sim.Time { return x.finishedAt }
+
+func (x *Executor) slice() {
+	if x.finished {
+		return
+	}
+	vm := x.VM
+	// Management work (TMM kthreads, flush instructions) occupies one
+	// vCPU; with the workload spread across all vCPUs the wall-clock
+	// impact is the stolen share.
+	elapsed := vm.TakeStall() / sim.Duration(vm.VCPUs)
+
+	n, done := x.WL.Fill(x.buf)
+	if n == 0 && !done {
+		panic(fmt.Sprintf("engine: workload %s stalled (batch %d too small?)", x.WL.Name(), x.BatchSize))
+	}
+
+	var cpu sim.Duration
+	if x.txnHistActive() {
+		// Init-sweep accesses are not transactions; consume them plainly.
+		skip := 0
+		if x.opsDone < x.initOps {
+			skip = int(x.initOps - x.opsDone)
+			if skip > n {
+				skip = n
+			}
+			for i := 0; i < skip; i++ {
+				a := x.buf[i]
+				cpu += vm.Access(a.GVA, a.Write)
+			}
+		}
+		// Spread pending management stall evenly over this batch's
+		// transactions: TMM interference is what fattens tails.
+		txns := (n - skip) / x.txnSize
+		var stallShare sim.Duration
+		if txns > 0 {
+			stallShare = elapsed / sim.Duration(txns)
+		}
+		for t := 0; t < txns; t++ {
+			var txnCost sim.Duration
+			for i := skip + t*x.txnSize; i < skip+(t+1)*x.txnSize; i++ {
+				a := x.buf[i]
+				txnCost += vm.Access(a.GVA, a.Write)
+			}
+			x.TxnHist.Observe(float64(txnCost + stallShare))
+			cpu += txnCost
+		}
+		for i := skip + txns*x.txnSize; i < n; i++ {
+			a := x.buf[i]
+			cpu += vm.Access(a.GVA, a.Write)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			a := x.buf[i]
+			cpu += vm.Access(a.GVA, a.Write)
+		}
+	}
+	// vCPUs execute the stream in parallel.
+	cpu += sim.Duration(n) * x.PerAccessCompute
+	elapsed += cpu / sim.Duration(vm.VCPUs)
+
+	// Guest scheduler quanta that elapsed during this slice.
+	x.sinceCtx += elapsed
+	for x.sinceCtx >= x.Timeslice {
+		x.sinceCtx -= x.Timeslice
+		vm.Kernel.ContextSwitch()
+		elapsed += vm.Machine.Cost.CtxSwitchCost
+	}
+
+	x.opsDone += uint64(n)
+	if done {
+		x.finished = true
+		x.finishedAt = x.eng.Now() + elapsed
+		// Finish exactly at the computed completion time.
+		x.eng.After(elapsed, func() {
+			if x.OnFinish != nil {
+				x.OnFinish(x)
+			}
+		})
+		return
+	}
+	if elapsed < 1 {
+		elapsed = 1
+	}
+	x.eng.After(elapsed, x.slice)
+}
+
+func (x *Executor) txnHistActive() bool { return x.TxnHist != nil && x.txnSize > 0 }
+
+// Sampler periodically records an executor's instantaneous throughput
+// (accesses per second over the sampling window) into a Series.
+type Sampler struct {
+	Series *stats.Series
+	ticker *sim.Ticker
+}
+
+// NewSampler starts sampling x every period.
+func NewSampler(eng *sim.Engine, x *Executor, period sim.Duration, name string) *Sampler {
+	s := &Sampler{Series: &stats.Series{Name: name}}
+	var lastOps uint64
+	var lastT sim.Time
+	s.ticker = eng.StartTicker(period, func(now sim.Time) {
+		dt := now - lastT
+		if dt <= 0 {
+			return
+		}
+		ops := x.OpsDone()
+		rate := float64(ops-lastOps) / dt.Seconds()
+		s.Series.Append(now.Seconds(), rate)
+		lastOps, lastT = ops, now
+	})
+	return s
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() { s.ticker.Stop() }
+
+// RunAll starts every executor and runs the engine until all finish or
+// the horizon passes. It returns true when all finished.
+func RunAll(eng *sim.Engine, horizon sim.Duration, xs ...*Executor) bool {
+	for _, x := range xs {
+		x.Start()
+	}
+	deadline := eng.Now() + horizon
+	for eng.Now() < deadline {
+		allDone := true
+		for _, x := range xs {
+			if !x.Finished() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			// Drain remaining completion callbacks without running past
+			// still-armed periodic tickers.
+			return true
+		}
+		if !eng.Step() {
+			break
+		}
+	}
+	for _, x := range xs {
+		if !x.Finished() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"demeter/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "figure2",
+		Title: "TMM CPU overhead (cores) vs concurrent VM count: TPP, Memtis, Demeter",
+		Run:   Figure2,
+	})
+}
+
+// Figure2 reproduces the §2.3.2 scalability study: the total GUPS work is
+// split evenly across 1..9 VMs (preserving the access distribution) and
+// each design's management CPU is reported as average cores consumed.
+// Paper shape at 9 VMs: TPP ≈ 4.5 cores, Memtis ≈ 1.25, Demeter ≤ 0.2.
+func Figure2(s Scale) string {
+	counts := []int{1, 3, 5, 7, 9}
+	if s.VMs < 9 {
+		counts = []int{1, 2, 3}
+	}
+	designs := []string{"tpp", "memtis", "demeter"}
+
+	tb := stats.NewTable("Figure 2: management CPU (cores) vs VM count",
+		"VMs", "TPP", "Memtis", "Demeter")
+	finals := map[string]float64{}
+	for _, n := range counts {
+		row := []interface{}{n}
+		for _, d := range designs {
+			res := s.splitScale(n).RunCluster(d, n, s.gupsSplit(n), clusterOptions{})
+			cores := res.CoresUsed()
+			finals[d] = cores
+			row = append(row, fmt.Sprintf("%.3f", cores))
+		}
+		tb.AddRow(row...)
+	}
+	report := tb.String()
+	report += fmt.Sprintf("\nAt max VM count: TPP=%.2f, Memtis=%.2f, Demeter=%.2f cores.\n",
+		finals["tpp"], finals["memtis"], finals["demeter"])
+	report += "Paper shape: TPP ≈ 4.5 cores and Memtis ≈ 1.25 at nine VMs, while\n" +
+		"Demeter stays within 0.2 cores; the ordering and growth trend are the claim.\n"
+	return report
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/sim"
+	"demeter/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "figure4",
+		Title: "Guest physical vs virtual address space heat maps (LibLinear)",
+		Run:   Figure4,
+	})
+}
+
+// HeatMap is an access-count grid: rows are time windows, columns are
+// equal-width address bins.
+type HeatMap struct {
+	Label string
+	Grid  [][]uint64
+}
+
+// render draws the grid with intensity characters.
+func (h HeatMap) render() string {
+	shades := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (rows = time windows, cols = address bins, darker = hotter)\n", h.Label)
+	var max uint64
+	for _, row := range h.Grid {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, row := range h.Grid {
+		b.WriteByte('|')
+		for _, v := range row {
+			idx := int(uint64(len(shades)-1) * v / max)
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// concentration returns the fraction of all accesses landing in the
+// hottest `top` bins (column-summed) — the quantitative form of "hot
+// accesses concentrate in small contiguous ranges".
+func (h HeatMap) concentration(top int) float64 {
+	if len(h.Grid) == 0 {
+		return 0
+	}
+	cols := len(h.Grid[0])
+	sums := make([]uint64, cols)
+	var total uint64
+	for _, row := range h.Grid {
+		for c, v := range row {
+			sums[c] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	// Partial selection of the top bins.
+	for i := 0; i < top && i < cols; i++ {
+		maxJ := i
+		for j := i + 1; j < cols; j++ {
+			if sums[j] > sums[maxJ] {
+				maxJ = j
+			}
+		}
+		sums[i], sums[maxJ] = sums[maxJ], sums[i]
+	}
+	var hot uint64
+	for i := 0; i < top && i < cols; i++ {
+		hot += sums[i]
+	}
+	return float64(hot) / float64(total)
+}
+
+// Figure4Data runs LibLinear in one VM and collects both heat maps.
+func Figure4Data(s Scale) (gva, gpa HeatMap) {
+	eng := sim.NewEngine()
+	m := hypervisor.NewMachine(eng, hostTopology("pmem", s.VMFMEM, s.VMSMEM))
+	if s.ScanPTECost > 0 {
+		m.Cost.ScanPTECost = s.ScanPTECost
+	}
+	vm, err := m.NewVM(hypervisor.VMConfig{
+		VCPUs: 4, GuestFMEM: s.VMFMEM, GuestSMEM: s.VMSMEM,
+		FMEMBacking: 0, SMEMBacking: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	wl := s.NewApp("liblinear", 1)
+	wl.Setup(vm.Proc)
+
+	const bins = 64
+	const windows = 16
+	gva = HeatMap{Label: "Guest virtual address space", Grid: makeGrid(windows, bins)}
+	gpa = HeatMap{Label: "Guest physical address space", Grid: makeGrid(windows, bins)}
+
+	// Churn the allocator before the workload touches anything, the way
+	// a booted guest's free lists are already shuffled: grab and release
+	// interleaved pages so LIFO recycling scatters physical placement.
+	churn := vm.Kernel
+	var grabbed []mem.Frame
+	for i := 0; i < int(s.VMFMEM/2); i++ {
+		if f, _, ok := churn.AllocPage(-1); ok {
+			grabbed = append(grabbed, f)
+		}
+	}
+	for i := len(grabbed) - 1; i >= 0; i -= 2 {
+		churn.FreePage(grabbed[i])
+	}
+	for i := 0; i < len(grabbed); i += 2 {
+		churn.FreePage(grabbed[i])
+	}
+
+	// Total accesses to attribute across windows.
+	total := wl.TotalOps() + wl.InitOps()
+	perWindow := total / windows
+	guestFrames := vm.Kernel.Topo.TotalFrames()
+
+	// Virtual bins span the process's used regions.
+	lo, hi := vm.Proc.MmapRange()
+	if hs, he := vm.Proc.HeapRange(); he > hs {
+		if hs < lo {
+			lo = hs
+		}
+		if he > hi {
+			hi = he
+		}
+	}
+
+	buf := make([]workload.Access, 4096)
+	var done uint64
+	for {
+		n, finished := wl.Fill(buf)
+		for i := 0; i < n; i++ {
+			a := buf[i]
+			vm.Access(a.GVA, a.Write)
+			w := int(done / perWindow)
+			if w >= windows {
+				w = windows - 1
+			}
+			vb := int(uint64(bins) * (a.GVA - lo) / (hi - lo))
+			if vb >= 0 && vb < bins {
+				gva.Grid[w][vb]++
+			}
+			if gpfn, ok := vm.Proc.Translate(a.GVA >> 12); ok {
+				pb := int(uint64(bins) * uint64(gpfn) / guestFrames)
+				if pb < bins {
+					gpa.Grid[w][pb]++
+				}
+			}
+			done++
+		}
+		if finished {
+			break
+		}
+	}
+	return gva, gpa
+}
+
+func makeGrid(rows, cols int) [][]uint64 {
+	g := make([][]uint64, rows)
+	for i := range g {
+		g[i] = make([]uint64, cols)
+	}
+	return g
+}
+
+// Figure4 renders both heat maps and quantifies the locality contrast the
+// paper's DAMON profile shows: hot accesses concentrate in few contiguous
+// virtual bins but scatter across physical bins.
+func Figure4(s Scale) string {
+	gva, gpa := Figure4Data(s)
+	const top = 4
+	cv, cp := gva.concentration(top), gpa.concentration(top)
+	var b strings.Builder
+	b.WriteString("Figure 4: LibLinear access heat maps\n\n")
+	b.WriteString(gva.render())
+	b.WriteByte('\n')
+	b.WriteString(gpa.render())
+	fmt.Fprintf(&b, "\nTop-%d-bin access share: virtual %.2f vs physical %.2f\n", top, cv, cp)
+	b.WriteString("Paper shape: the hottest virtual bins hold most accesses (weights\n" +
+		"vector), while physical placement scatters them — the reason Demeter\n" +
+		"classifies in guest virtual address space.\n")
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID matches the paper ("table1", "figure10", ...).
+	ID string
+	// Title summarizes what the paper shows.
+	Title string
+	// Run executes at the given scale and returns the text report.
+	Run func(s Scale) string
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToLower(id)]
+	return e, ok
+}
+
+// All returns every experiment sorted by id (tables first, then figures
+// in numeric order).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+func orderKey(id string) string {
+	// "table1" -> "0table01", "figure10" -> "1figure10"; pads the number
+	// so figure2 sorts before figure10.
+	var prefix byte = '1'
+	if strings.HasPrefix(id, "table") {
+		prefix = '0'
+	}
+	num := strings.TrimLeft(id, "abcdefghijklmnopqrstuvwxyz")
+	for len(num) < 2 {
+		num = "0" + num
+	}
+	return string(prefix) + strings.TrimRight(id, "0123456789") + num
+}

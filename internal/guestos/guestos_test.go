@@ -1,0 +1,295 @@
+package guestos
+
+import (
+	"testing"
+
+	"demeter/internal/mem"
+)
+
+// guestTopo builds a small guest-physical layout: 64 FMEM + 256 SMEM frames.
+func guestTopo() *mem.Topology {
+	return mem.PaperDRAMPMEM(64, 256)
+}
+
+func TestAllocPrefersFastNode(t *testing.T) {
+	k := NewKernel(guestTopo())
+	f, node, ok := k.AllocPage(-1)
+	if !ok || node != 0 {
+		t.Fatalf("first alloc: frame=%d node=%d ok=%v", f, node, ok)
+	}
+	if k.Stats().AllocsPerNode[0] != 1 {
+		t.Fatal("alloc not accounted to node 0")
+	}
+}
+
+func TestAllocFallsBackWhenFastExhausted(t *testing.T) {
+	k := NewKernel(guestTopo())
+	for i := 0; i < 64; i++ {
+		if _, node, ok := k.AllocPage(-1); !ok || node != 0 {
+			t.Fatalf("alloc %d: node=%d ok=%v", i, node, ok)
+		}
+	}
+	_, node, ok := k.AllocPage(-1)
+	if !ok || node != 1 {
+		t.Fatalf("fallback alloc: node=%d ok=%v", node, ok)
+	}
+	if k.Stats().OOMFallbacks != 1 {
+		t.Fatalf("fallbacks = %d", k.Stats().OOMFallbacks)
+	}
+}
+
+func TestAllocPageOnNoFallback(t *testing.T) {
+	k := NewKernel(guestTopo())
+	for i := 0; i < 64; i++ {
+		k.AllocPageOn(0)
+	}
+	if _, ok := k.AllocPageOn(0); ok {
+		t.Fatal("AllocPageOn fell back despite exhausted node")
+	}
+	if _, ok := k.AllocPageOn(1); !ok {
+		t.Fatal("node 1 should still have frames")
+	}
+}
+
+func TestFreePageReturnsToOwningNode(t *testing.T) {
+	k := NewKernel(guestTopo())
+	f, node, _ := k.AllocPage(-1)
+	before := k.Topo.Nodes[node].FreeFrames()
+	k.FreePage(f)
+	if k.Topo.Nodes[node].FreeFrames() != before+1 {
+		t.Fatal("frame not returned to its node")
+	}
+}
+
+func TestReserveRestore(t *testing.T) {
+	k := NewKernel(guestTopo())
+	pages := k.ReserveFree(0, 60)
+	if len(pages) != 60 {
+		t.Fatalf("reserved %d", len(pages))
+	}
+	if k.BalloonedPages() != 60 {
+		t.Fatalf("ballooned = %d", k.BalloonedPages())
+	}
+	if k.Topo.Nodes[0].FreeFrames() != 4 {
+		t.Fatalf("node 0 free = %d", k.Topo.Nodes[0].FreeFrames())
+	}
+	// Over-asking reserves only what is free.
+	more := k.ReserveFree(0, 100)
+	if len(more) != 4 {
+		t.Fatalf("second reserve = %d", len(more))
+	}
+	k.Restore(pages)
+	k.Restore(more)
+	if k.BalloonedPages() != 0 || k.Topo.Nodes[0].FreeFrames() != 64 {
+		t.Fatal("restore did not return all pages")
+	}
+}
+
+func TestRestoreForeignFramePanics(t *testing.T) {
+	k := NewKernel(guestTopo())
+	f, _, _ := k.AllocPage(-1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restoring non-ballooned frame did not panic")
+		}
+	}()
+	k.Restore([]mem.Frame{f})
+}
+
+func TestBrkGrowsHeap(t *testing.T) {
+	k := NewKernel(guestTopo())
+	p := k.NewProcess("w")
+	s1 := p.Brk(10000)
+	if s1 != HeapBase {
+		t.Fatalf("first brk start = %#x", s1)
+	}
+	s2 := p.Brk(4096)
+	if s2 != HeapBase+12288 { // 10000 page-aligned to 12288
+		t.Fatalf("second brk start = %#x", s2)
+	}
+	start, end := p.HeapRange()
+	if start != HeapBase || end != HeapBase+16384 {
+		t.Fatalf("heap range = %#x..%#x", start, end)
+	}
+	// Only one heap region regardless of Brk count.
+	heapCount := 0
+	for _, r := range p.Regions() {
+		if r.Kind == "heap" {
+			heapCount++
+		}
+	}
+	if heapCount != 1 {
+		t.Fatalf("heap regions = %d", heapCount)
+	}
+}
+
+func TestMmapGrowsDownAligned(t *testing.T) {
+	k := NewKernel(guestTopo())
+	p := k.NewProcess("w")
+	a := p.Mmap(1)       // rounds to 2 MiB
+	b := p.Mmap(3 << 20) // rounds to 4 MiB
+	if a != MmapBase-(2<<20) {
+		t.Fatalf("first mmap at %#x", a)
+	}
+	if b != a-(4<<20) {
+		t.Fatalf("second mmap at %#x", b)
+	}
+	if a%HugeAlign != 0 || b%HugeAlign != 0 {
+		t.Fatal("mmap regions not 2MiB aligned")
+	}
+	lo, hi := p.MmapRange()
+	if lo != b || hi != MmapBase {
+		t.Fatalf("mmap range = %#x..%#x", lo, hi)
+	}
+}
+
+func TestFaultFirstTouchMapsFastFirst(t *testing.T) {
+	k := NewKernel(guestTopo())
+	p := k.NewProcess("w")
+	start := p.Mmap(100 * mem.PageSize)
+	gvpn := start >> PageShift
+	gpfn, node, ok := p.HandleFault(gvpn)
+	if !ok || node != 0 {
+		t.Fatalf("fault: node=%d ok=%v", node, ok)
+	}
+	got, ok := p.Translate(gvpn)
+	if !ok || got != gpfn {
+		t.Fatalf("translate = %d,%v", got, ok)
+	}
+	if k.Stats().MinorFaults != 1 {
+		t.Fatalf("faults = %d", k.Stats().MinorFaults)
+	}
+}
+
+func TestFaultOutsideVMAPanics(t *testing.T) {
+	k := NewKernel(guestTopo())
+	p := k.NewProcess("w")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wild fault did not panic")
+		}
+	}()
+	p.HandleFault(0x1234)
+}
+
+func TestFaultOOMReturnsFalse(t *testing.T) {
+	k := NewKernel(mem.PaperDRAMPMEM(2, 2))
+	p := k.NewProcess("w")
+	start := p.Mmap(10 * mem.PageSize)
+	base := start >> PageShift
+	for i := uint64(0); i < 4; i++ {
+		if _, _, ok := p.HandleFault(base + i); !ok {
+			t.Fatalf("fault %d should succeed", i)
+		}
+	}
+	if _, _, ok := p.HandleFault(base + 4); ok {
+		t.Fatal("fault beyond capacity should fail")
+	}
+}
+
+// The locality-clobbering property Figure 4 rests on: sequential virtual
+// touch order after frees yields non-sequential physical frames.
+func TestLazyAllocationClobbersPhysicalLocality(t *testing.T) {
+	k := NewKernel(guestTopo())
+	p := k.NewProcess("w")
+	start := p.Mmap(32 * mem.PageSize)
+	base := start >> PageShift
+
+	// Touch 8 pages, free some of their frames out of order (simulating
+	// another process's churn), then touch 8 more.
+	var first []mem.Frame
+	for i := uint64(0); i < 8; i++ {
+		f, _, _ := p.HandleFault(base + i)
+		first = append(first, f)
+	}
+	for _, i := range []int{6, 2, 4} {
+		gpfn, _ := p.Translate(base + uint64(i))
+		p.GPT.Unmap(base + uint64(i))
+		k.FreePage(gpfn)
+		_ = first
+	}
+	sequential := true
+	var prev mem.Frame
+	for i := uint64(8); i < 16; i++ {
+		f, _, _ := p.HandleFault(base + i)
+		if i > 8 && f != prev+1 {
+			sequential = false
+		}
+		prev = f
+	}
+	if sequential {
+		t.Fatal("physical frames stayed sequential; LIFO recycling should scatter them")
+	}
+}
+
+func TestContextSwitchHooks(t *testing.T) {
+	k := NewKernel(guestTopo())
+	calls := 0
+	k.RegisterContextSwitchHook(func() { calls++ })
+	k.RegisterContextSwitchHook(func() { calls += 10 })
+	k.ContextSwitch()
+	k.ContextSwitch()
+	if calls != 22 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if k.Stats().CtxSwitches != 2 {
+		t.Fatalf("switches = %d", k.Stats().CtxSwitches)
+	}
+}
+
+func TestNodeOfGPFN(t *testing.T) {
+	k := NewKernel(guestTopo())
+	if k.NodeOfGPFN(10) != 0 || k.NodeOfGPFN(100) != 1 {
+		t.Fatal("NodeOfGPFN wrong")
+	}
+}
+
+func TestMunmapFreesPages(t *testing.T) {
+	k := NewKernel(guestTopo())
+	p := k.NewProcess("w")
+	a := p.Mmap(8 * mem.PageSize)
+	b := p.Mmap(8 * mem.PageSize)
+	for i := uint64(0); i < 8; i++ {
+		p.HandleFault((a >> PageShift) + i)
+	}
+	p.HandleFault(b >> PageShift)
+	freeBefore := k.Topo.Nodes[0].FreeFrames() + k.Topo.Nodes[1].FreeFrames()
+	if got := p.Munmap(a); got != 8 {
+		t.Fatalf("freed = %d", got)
+	}
+	freeAfter := k.Topo.Nodes[0].FreeFrames() + k.Topo.Nodes[1].FreeFrames()
+	if freeAfter != freeBefore+8 {
+		t.Fatalf("frames not returned: %d -> %d", freeBefore, freeAfter)
+	}
+	// The other region is untouched; the removed one is gone.
+	if _, ok := p.Translate(b >> PageShift); !ok {
+		t.Fatal("munmap damaged another region")
+	}
+	found := false
+	for _, r := range p.Regions() {
+		if r.Start == a {
+			found = true
+		}
+	}
+	if found {
+		t.Fatal("region still listed")
+	}
+	// Faulting into the removed region is now a segfault.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fault into unmapped region did not panic")
+		}
+	}()
+	p.HandleFault(a >> PageShift)
+}
+
+func TestMunmapUnknownRegionPanics(t *testing.T) {
+	k := NewKernel(guestTopo())
+	p := k.NewProcess("w")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("munmap of unknown region did not panic")
+		}
+	}()
+	p.Munmap(0xdead000)
+}

@@ -1,0 +1,70 @@
+package hypervisor
+
+import (
+	"demeter/internal/sim"
+)
+
+// PML models Intel Page Modification Logging (§7.3): when enabled for a
+// VM, the CPU appends the gPA of every page whose EPT dirty bit it sets to
+// a 512-entry buffer; when the buffer fills, the VM exits so the
+// hypervisor can drain it.
+//
+// The paper's analysis (and vTMM's experience) identifies two structural
+// problems the model reproduces:
+//
+//   - Fixed-frequency exits: one VM exit per 512 modifications, with no
+//     way to subsample. Write-heavy phases stall the guest on every
+//     buffer fill — unlike PEBS, whose period and buffer are programmable.
+//   - Global scope: the enable bit in the VMCS covers the whole address
+//     space; there is no range filtering, so every dirtied page logs
+//     regardless of relevance.
+type PML struct {
+	// Entries is the architectural buffer size (512).
+	Entries int
+	// ExitCost is the VM-exit + drain handling cost, charged as a guest
+	// stall because the vCPU is halted during the exit.
+	ExitCost sim.Duration
+	// OnFull receives the drained buffer at each exit.
+	OnFull func(gpfns []uint64)
+
+	buffer []uint64
+	stats  PMLStats
+}
+
+// PMLStats counts logging activity.
+type PMLStats struct {
+	Logged uint64 // dirty transitions recorded
+	Exits  uint64 // buffer-full VM exits
+}
+
+// NewPML returns a PML unit with the architectural buffer size.
+func NewPML() *PML {
+	return &PML{Entries: 512, ExitCost: 4 * sim.Microsecond}
+}
+
+// Stats returns a copy of the counters.
+func (p *PML) Stats() PMLStats { return p.stats }
+
+// log records one dirty transition, returning the stall incurred (nonzero
+// only on a buffer-full exit).
+func (p *PML) log(gpfn uint64) sim.Duration {
+	p.buffer = append(p.buffer, gpfn)
+	p.stats.Logged++
+	if len(p.buffer) < p.Entries {
+		return 0
+	}
+	p.stats.Exits++
+	buf := p.buffer
+	p.buffer = make([]uint64, 0, p.Entries)
+	if p.OnFull != nil {
+		p.OnFull(buf)
+	}
+	return p.ExitCost
+}
+
+// EnablePML attaches a PML unit to the VM; every first dirtying of an
+// EPT entry logs and may force a VM exit.
+func (vm *VM) EnablePML(p *PML) { vm.pml = p }
+
+// DisablePML detaches page-modification logging.
+func (vm *VM) DisablePML() { vm.pml = nil }

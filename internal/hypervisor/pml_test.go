@@ -1,0 +1,59 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"demeter/internal/mem"
+)
+
+func TestPMLLogsDirtyTransitionsOnly(t *testing.T) {
+	_, vm := newTestVM(t)
+	pml := NewPML()
+	var drained [][]uint64
+	pml.OnFull = func(g []uint64) { drained = append(drained, g) }
+	vm.EnablePML(pml)
+	start := vm.Proc.Mmap(16 * mem.PageSize)
+	// First write logs; repeated writes to the same dirty page do not.
+	vm.Access(start, true)
+	if pml.Stats().Logged != 1 {
+		t.Fatalf("logged = %d", pml.Stats().Logged)
+	}
+	vm.Access(start, true)
+	vm.Access(start, true)
+	if pml.Stats().Logged != 1 {
+		t.Fatalf("re-dirtying logged extra entries: %d", pml.Stats().Logged)
+	}
+	// Reads never log.
+	vm.Access(start+mem.PageSize, false)
+	if pml.Stats().Logged != 1 {
+		t.Fatal("read logged")
+	}
+}
+
+func TestPMLExitsWhenFull(t *testing.T) {
+	_, vm := newTestVM(t)
+	pml := NewPML()
+	pml.Entries = 4
+	var got []uint64
+	pml.OnFull = func(g []uint64) { got = append(got, g...) }
+	vm.EnablePML(pml)
+	start := vm.Proc.Mmap(16 * mem.PageSize)
+	for i := uint64(0); i < 10; i++ {
+		vm.Access(start+i*mem.PageSize, true)
+	}
+	st := pml.Stats()
+	if st.Exits != 2 {
+		t.Fatalf("exits = %d, want 2 (10 writes / 4 entries)", st.Exits)
+	}
+	if len(got) != 8 {
+		t.Fatalf("drained %d entries", len(got))
+	}
+	// The exit cost lands on the faulting access.
+	vm.DisablePML()
+	for i := uint64(10); i < 14; i++ {
+		vm.Access(start+i*mem.PageSize, true)
+	}
+	if pml.Stats().Logged != 10 {
+		t.Fatal("disabled PML still logging")
+	}
+}

@@ -1,0 +1,264 @@
+// Package mem models the host machine's physical memory: tier media
+// (DRAM, PMEM, CXL.mem, remote-socket DRAM), NUMA topology, per-node frame
+// allocators and the latency/bandwidth cost model used to charge every
+// simulated access and migration copy.
+//
+// The default tier characteristics are the paper's Table 2, measured with
+// Intel's Memory Latency Checker on the evaluation platform:
+//
+//	Access to         L2     L-DRAM    R-DRAM    L-PMEM
+//	Latency (ns)      53.6   68.7      121.9     176.6
+//	Bandwidth (MB/s)  -      88156.5   53533.8   21414.5
+package mem
+
+import (
+	"fmt"
+
+	"demeter/internal/sim"
+)
+
+// PageSize is the base page size in bytes. The simulator manages 4 KiB
+// frames; the Demeter classifier's 2 MiB split granularity is expressed in
+// these pages (512 per huge page).
+const PageSize = 4096
+
+// Frame is a host physical frame number (hPA >> 12). Frames are globally
+// unique across NUMA nodes: each node owns a disjoint range.
+type Frame uint64
+
+// InvalidFrame marks "no frame".
+const InvalidFrame = Frame(^uint64(0))
+
+// TierKind identifies the medium backing a NUMA node.
+type TierKind int
+
+const (
+	// TierDRAM is local-socket DRAM, the fast tier (FMEM).
+	TierDRAM TierKind = iota
+	// TierPMEM is Intel Optane persistent memory, the paper's primary
+	// slow tier (SMEM).
+	TierPMEM
+	// TierCXL is CXL.mem, emulated in the paper via remote-socket DRAM
+	// following Pond's methodology.
+	TierCXL
+	// TierRemoteDRAM is DRAM on the other socket, reached over UPI.
+	TierRemoteDRAM
+)
+
+func (k TierKind) String() string {
+	switch k {
+	case TierDRAM:
+		return "DRAM"
+	case TierPMEM:
+		return "PMEM"
+	case TierCXL:
+		return "CXL"
+	case TierRemoteDRAM:
+		return "R-DRAM"
+	default:
+		return fmt.Sprintf("TierKind(%d)", int(k))
+	}
+}
+
+// TierSpec describes one memory medium's performance.
+type TierSpec struct {
+	Kind TierKind
+	// LoadLatency is the idle (unloaded) load-to-use latency, what MLC's
+	// idle pointer chase reports (Table 2).
+	LoadLatency sim.Duration
+	// LoadedLatency is the effective latency under multi-core steady
+	// load — queueing at the media controller included. Optane PMEM
+	// degrades far more under load than DRAM does, which is a large part
+	// of why placement matters.
+	LoadedLatency sim.Duration
+	ReadBWMBps    float64 // streaming read bandwidth
+	WriteBWMBps   float64 // streaming write bandwidth
+}
+
+// Table 2 media, used by the preset topologies.
+var (
+	SpecL2 = TierSpec{Kind: TierDRAM, LoadLatency: 54, LoadedLatency: 54} // cache hit reference (53.6ns)
+
+	SpecLocalDRAM = TierSpec{Kind: TierDRAM, LoadLatency: 69, LoadedLatency: 110, ReadBWMBps: 88156.5, WriteBWMBps: 88156.5}
+
+	SpecRemoteDRAM = TierSpec{Kind: TierRemoteDRAM, LoadLatency: 122, LoadedLatency: 250, ReadBWMBps: 53533.8, WriteBWMBps: 53533.8}
+
+	// SpecCXL follows Pond's emulation: remote-socket DRAM latency.
+	SpecCXL = TierSpec{Kind: TierCXL, LoadLatency: 122, LoadedLatency: 250, ReadBWMBps: 53533.8, WriteBWMBps: 53533.8}
+
+	// SpecPMEM: Optane PMem 200. Idle read latency 176.6ns (Table 2);
+	// under multi-threaded random access the on-DIMM controller queues
+	// and effective latency approaches a microsecond (Yang et al., FAST
+	// '20). Write bandwidth is far below reads on Optane.
+	SpecPMEM = TierSpec{Kind: TierPMEM, LoadLatency: 177, LoadedLatency: 1100, ReadBWMBps: 21414.5, WriteBWMBps: 8000}
+)
+
+// CopyCost returns the simulated time to move size bytes from src to dst
+// media: the transfer is limited by the slower of the source read and
+// destination write streams.
+func CopyCost(src, dst TierSpec, size int64) sim.Duration {
+	bw := src.ReadBWMBps
+	if dst.WriteBWMBps < bw {
+		bw = dst.WriteBWMBps
+	}
+	if bw <= 0 {
+		panic("mem: CopyCost on tier without bandwidth")
+	}
+	// MB/s == bytes/µs; ns = bytes * 1000 / MBps.
+	return sim.Duration(float64(size) * 1000 / bw)
+}
+
+// Node is one host NUMA node: a contiguous frame range on a single medium
+// with a LIFO free list. LIFO matches Linux's per-CPU page caches and is
+// what scatters physical placement relative to virtual layout (Figure 4).
+type Node struct {
+	ID   int
+	Spec TierSpec
+
+	base    Frame
+	nframes uint64
+	free    []Frame
+}
+
+// NewNode creates a node owning frames [base, base+nframes).
+func NewNode(id int, spec TierSpec, base Frame, nframes uint64) *Node {
+	n := &Node{ID: id, Spec: spec, base: base, nframes: nframes}
+	n.free = make([]Frame, 0, nframes)
+	// Push in reverse so the first allocations come from the low end,
+	// which makes traces easier to read.
+	for i := nframes; i > 0; i-- {
+		n.free = append(n.free, base+Frame(i-1))
+	}
+	return n
+}
+
+// Frames returns the node's total frame count.
+func (n *Node) Frames() uint64 { return n.nframes }
+
+// FreeFrames returns the number of currently free frames.
+func (n *Node) FreeFrames() uint64 { return uint64(len(n.free)) }
+
+// UsedFrames returns allocated frame count.
+func (n *Node) UsedFrames() uint64 { return n.nframes - uint64(len(n.free)) }
+
+// Contains reports whether f belongs to this node.
+func (n *Node) Contains(f Frame) bool {
+	return f >= n.base && f < n.base+Frame(n.nframes)
+}
+
+// Alloc takes one frame from the node, or returns (InvalidFrame, false)
+// when the node is exhausted.
+func (n *Node) Alloc() (Frame, bool) {
+	if len(n.free) == 0 {
+		return InvalidFrame, false
+	}
+	f := n.free[len(n.free)-1]
+	n.free = n.free[:len(n.free)-1]
+	return f, true
+}
+
+// Free returns a frame to the node. Freeing a frame the node does not own
+// or double-freeing is a simulator bug and panics.
+func (n *Node) Free(f Frame) {
+	if !n.Contains(f) {
+		panic(fmt.Sprintf("mem: freeing frame %d to wrong node %d", f, n.ID))
+	}
+	n.free = append(n.free, f)
+	if uint64(len(n.free)) > n.nframes {
+		panic(fmt.Sprintf("mem: node %d free list overflow (double free?)", n.ID))
+	}
+}
+
+// Topology is the host's set of NUMA nodes.
+type Topology struct {
+	Nodes []*Node
+}
+
+// NewTopology builds a topology from (spec, frames) pairs, assigning
+// disjoint frame ranges in order.
+func NewTopology(nodes ...NodeConfig) *Topology {
+	t := &Topology{}
+	var base Frame
+	for i, cfg := range nodes {
+		if cfg.Frames == 0 {
+			panic("mem: node with zero frames")
+		}
+		t.Nodes = append(t.Nodes, NewNode(i, cfg.Spec, base, cfg.Frames))
+		base += Frame(cfg.Frames)
+	}
+	return t
+}
+
+// NodeConfig sizes one node of a new topology.
+type NodeConfig struct {
+	Spec   TierSpec
+	Frames uint64
+}
+
+// NodeOf returns the node owning frame f.
+func (t *Topology) NodeOf(f Frame) *Node {
+	for _, n := range t.Nodes {
+		if n.Contains(f) {
+			return n
+		}
+	}
+	panic(fmt.Sprintf("mem: frame %d belongs to no node", f))
+}
+
+// SpecOf returns the tier spec backing frame f.
+func (t *Topology) SpecOf(f Frame) TierSpec { return t.NodeOf(f).Spec }
+
+// TotalFrames returns the machine's frame count.
+func (t *Topology) TotalFrames() uint64 {
+	var s uint64
+	for _, n := range t.Nodes {
+		s += n.nframes
+	}
+	return s
+}
+
+// FastNode returns the first DRAM node (the FMEM pool) and SlowNode the
+// first non-DRAM node (the SMEM pool). Preset topologies have exactly one
+// of each; custom topologies with more nodes can address them directly.
+func (t *Topology) FastNode() *Node {
+	for _, n := range t.Nodes {
+		if n.Spec.Kind == TierDRAM {
+			return n
+		}
+	}
+	panic("mem: topology has no DRAM node")
+}
+
+// SlowNode returns the first non-DRAM node.
+func (t *Topology) SlowNode() *Node {
+	for _, n := range t.Nodes {
+		if n.Spec.Kind != TierDRAM {
+			return n
+		}
+	}
+	panic("mem: topology has no slow node")
+}
+
+// GiB expresses a byte count in frames.
+func GiB(n float64) uint64 { return uint64(n * (1 << 30) / PageSize) }
+
+// MiB expresses a byte count in frames.
+func MiB(n float64) uint64 { return uint64(n * (1 << 20) / PageSize) }
+
+// PaperDRAMPMEM returns the paper's primary configuration: one DRAM node
+// (FMEM) and one PMEM node (SMEM), sized fmemFrames/smemFrames.
+func PaperDRAMPMEM(fmemFrames, smemFrames uint64) *Topology {
+	return NewTopology(
+		NodeConfig{Spec: SpecLocalDRAM, Frames: fmemFrames},
+		NodeConfig{Spec: SpecPMEM, Frames: smemFrames},
+	)
+}
+
+// PaperDRAMCXL returns the CXL.mem configuration (emulated via remote
+// DRAM, following Pond).
+func PaperDRAMCXL(fmemFrames, smemFrames uint64) *Topology {
+	return NewTopology(
+		NodeConfig{Spec: SpecLocalDRAM, Frames: fmemFrames},
+		NodeConfig{Spec: SpecCXL, Frames: smemFrames},
+	)
+}

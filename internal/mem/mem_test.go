@@ -1,0 +1,200 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"demeter/internal/sim"
+)
+
+func testTopo() *Topology {
+	return PaperDRAMPMEM(100, 500)
+}
+
+func TestTopologyLayout(t *testing.T) {
+	topo := testTopo()
+	if len(topo.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(topo.Nodes))
+	}
+	if topo.TotalFrames() != 600 {
+		t.Fatalf("total = %d", topo.TotalFrames())
+	}
+	if topo.FastNode().Spec.Kind != TierDRAM {
+		t.Fatal("fast node is not DRAM")
+	}
+	if topo.SlowNode().Spec.Kind != TierPMEM {
+		t.Fatal("slow node is not PMEM")
+	}
+	// Frame ranges are disjoint and ordered.
+	if !topo.Nodes[0].Contains(0) || !topo.Nodes[0].Contains(99) || topo.Nodes[0].Contains(100) {
+		t.Fatal("node 0 range wrong")
+	}
+	if !topo.Nodes[1].Contains(100) || !topo.Nodes[1].Contains(599) {
+		t.Fatal("node 1 range wrong")
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	n := NewNode(0, SpecLocalDRAM, 0, 10)
+	var frames []Frame
+	for i := 0; i < 10; i++ {
+		f, ok := n.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		frames = append(frames, f)
+	}
+	if _, ok := n.Alloc(); ok {
+		t.Fatal("alloc on exhausted node succeeded")
+	}
+	if n.FreeFrames() != 0 || n.UsedFrames() != 10 {
+		t.Fatalf("free/used = %d/%d", n.FreeFrames(), n.UsedFrames())
+	}
+	seen := make(map[Frame]bool)
+	for _, f := range frames {
+		if seen[f] {
+			t.Fatalf("duplicate frame %d", f)
+		}
+		seen[f] = true
+		n.Free(f)
+	}
+	if n.FreeFrames() != 10 {
+		t.Fatalf("free = %d after all returned", n.FreeFrames())
+	}
+}
+
+func TestAllocIsLIFOAfterFree(t *testing.T) {
+	n := NewNode(0, SpecLocalDRAM, 0, 4)
+	a, _ := n.Alloc()
+	b, _ := n.Alloc()
+	n.Free(a)
+	n.Free(b)
+	c, _ := n.Alloc()
+	if c != b {
+		t.Fatalf("allocator is not LIFO: freed %d last, got %d", b, c)
+	}
+}
+
+func TestFreeWrongNodePanics(t *testing.T) {
+	topo := testTopo()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing to wrong node did not panic")
+		}
+	}()
+	topo.Nodes[0].Free(Frame(200)) // belongs to node 1
+}
+
+func TestNodeOfAndSpecOf(t *testing.T) {
+	topo := testTopo()
+	if topo.NodeOf(50).ID != 0 {
+		t.Fatal("frame 50 should be node 0")
+	}
+	if topo.NodeOf(100).ID != 1 {
+		t.Fatal("frame 100 should be node 1")
+	}
+	if topo.SpecOf(150).Kind != TierPMEM {
+		t.Fatal("frame 150 should be PMEM")
+	}
+}
+
+func TestNodeOfUnknownFramePanics(t *testing.T) {
+	topo := testTopo()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodeOf on unowned frame did not panic")
+		}
+	}()
+	topo.NodeOf(Frame(10_000))
+}
+
+func TestCopyCost(t *testing.T) {
+	// A 4 KiB page DRAM->PMEM is limited by PMEM write bandwidth
+	// (8000 MB/s): 4096B * 1000 / 8000 = 512ns.
+	got := CopyCost(SpecLocalDRAM, SpecPMEM, PageSize)
+	if got != 512 {
+		t.Fatalf("DRAM->PMEM 4KiB copy = %v, want 512ns", got)
+	}
+	// PMEM->DRAM is limited by PMEM read (21414.5 MB/s): ~191ns.
+	got = CopyCost(SpecPMEM, SpecLocalDRAM, PageSize)
+	if got < 185 || got > 195 {
+		t.Fatalf("PMEM->DRAM 4KiB copy = %v, want ~191ns", got)
+	}
+	// Promotion (SMEM->FMEM) must be cheaper than demotion on Optane.
+	if CopyCost(SpecPMEM, SpecLocalDRAM, PageSize) >= CopyCost(SpecLocalDRAM, SpecPMEM, PageSize) {
+		t.Fatal("PMEM promotion should be cheaper than demotion")
+	}
+}
+
+func TestPaperLatencyOrdering(t *testing.T) {
+	// Table 2's ordering: L2 < L-DRAM < R-DRAM = CXL < L-PMEM.
+	if !(SpecL2.LoadLatency < SpecLocalDRAM.LoadLatency &&
+		SpecLocalDRAM.LoadLatency < SpecRemoteDRAM.LoadLatency &&
+		SpecRemoteDRAM.LoadLatency == SpecCXL.LoadLatency &&
+		SpecCXL.LoadLatency < SpecPMEM.LoadLatency) {
+		t.Fatal("tier latency ordering violates Table 2")
+	}
+}
+
+func TestGiBMiB(t *testing.T) {
+	if GiB(1) != 262144 {
+		t.Fatalf("GiB(1) = %d frames", GiB(1))
+	}
+	if MiB(2) != 512 {
+		t.Fatalf("MiB(2) = %d frames", MiB(2))
+	}
+}
+
+func TestTierKindString(t *testing.T) {
+	if TierPMEM.String() != "PMEM" || TierDRAM.String() != "DRAM" {
+		t.Fatal("TierKind.String broken")
+	}
+}
+
+func TestPropertyAllocNeverReturnsSameFrameTwice(t *testing.T) {
+	err := quick.Check(func(nAlloc uint8) bool {
+		n := NewNode(0, SpecLocalDRAM, 100, 64)
+		seen := make(map[Frame]bool)
+		for i := 0; i < int(nAlloc); i++ {
+			f, ok := n.Alloc()
+			if !ok {
+				return i >= 64
+			}
+			if seen[f] || !n.Contains(f) {
+				return false
+			}
+			seen[f] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyCostScalesWithSize(t *testing.T) {
+	small := CopyCost(SpecLocalDRAM, SpecPMEM, PageSize)
+	large := CopyCost(SpecLocalDRAM, SpecPMEM, 512*PageSize)
+	if large != 512*small {
+		t.Fatalf("copy cost not linear: %v vs 512*%v", large, small)
+	}
+}
+
+func TestCopyCostPanicsWithoutBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyCost on L2 spec did not panic")
+		}
+	}()
+	CopyCost(SpecL2, SpecLocalDRAM, PageSize)
+}
+
+func TestCXLTopology(t *testing.T) {
+	topo := PaperDRAMCXL(10, 50)
+	if topo.SlowNode().Spec.Kind != TierCXL {
+		t.Fatal("CXL topology slow node wrong")
+	}
+	if topo.SlowNode().Spec.LoadLatency != sim.Duration(122) {
+		t.Fatal("CXL latency should follow remote DRAM per Pond emulation")
+	}
+}

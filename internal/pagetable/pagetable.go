@@ -1,0 +1,330 @@
+// Package pagetable models the two page-table dimensions of a virtualized
+// machine: the guest page table (GPT, gVA→gPA) maintained by the guest
+// kernel, and the extended page table (EPT, gPA→hPA) maintained by the
+// hypervisor. Entries carry Present/Accessed/Dirty bits that are set as a
+// side effect of simulated address translation — exactly the signal the
+// PTE.A/D-scanning TMM designs (TPP, H-TPP, Nomad, vTMM) consume, and the
+// signal whose reset forces the TLB flushes quantified in the paper's
+// Table 1.
+//
+// Both dimensions share one sparse radix-like representation: 512-entry
+// leaf blocks addressed by the upper key bits, mirroring the 4 KiB leaf
+// level of an x86 page table. Upper levels are not materialized; their
+// contribution is captured by the walk-cost constants.
+package pagetable
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Walk cost model, in memory references per translation. With four
+// levels per dimension, a native (1D) walk touches 4 PTEs; a nested (2D)
+// walk touches n*n + 2n = 24 (each guest level's PTE fetch requires an EPT
+// walk, plus the final EPT walk of the target gPA). §2.1 of the paper puts
+// the worst case at 25 including the data reference itself.
+const (
+	Walk1DRefs = 4
+	Walk2DRefs = 24
+)
+
+const (
+	blockShift = 9
+	blockSize  = 1 << blockShift // 512 entries, one leaf table
+	blockMask  = blockSize - 1
+)
+
+// Entry is one leaf PTE. The zero value is a non-present entry.
+type Entry struct {
+	value uint64
+	flags uint8
+}
+
+const (
+	flagPresent uint8 = 1 << iota
+	flagAccessed
+	flagDirty
+	flagHint
+)
+
+// Present reports whether the entry maps a page.
+func (e *Entry) Present() bool { return e.flags&flagPresent != 0 }
+
+// Value returns the mapped frame number (gPFN for GPT entries, hPFN for
+// EPT entries). Only meaningful when Present.
+func (e *Entry) Value() uint64 { return e.value }
+
+// Accessed reports the PTE.A bit.
+func (e *Entry) Accessed() bool { return e.flags&flagAccessed != 0 }
+
+// Dirty reports the PTE.D bit.
+func (e *Entry) Dirty() bool { return e.flags&flagDirty != 0 }
+
+// MarkAccessed sets the PTE.A bit (hardware does this during walks).
+func (e *Entry) MarkAccessed() { e.flags |= flagAccessed }
+
+// MarkDirty sets the PTE.D bit (hardware does this on stores).
+func (e *Entry) MarkDirty() { e.flags |= flagDirty }
+
+// ClearAccessed resets the PTE.A bit. The caller owns the consequent TLB
+// invalidation; forgetting it is precisely the correctness hazard that
+// forces hypervisor-based designs into full EPT flushes.
+func (e *Entry) ClearAccessed() { e.flags &^= flagAccessed }
+
+// ClearDirty resets the PTE.D bit.
+func (e *Entry) ClearDirty() { e.flags &^= flagDirty }
+
+// MarkHint arms a NUMA-hint (PROT_NONE-style) trap on the entry: the next
+// access through a walk takes a minor fault that the memory manager uses
+// as an access-frequency-weighted promotion trigger (TPP's mechanism).
+func (e *Entry) MarkHint() { e.flags |= flagHint }
+
+// ClearHint disarms the trap.
+func (e *Entry) ClearHint() { e.flags &^= flagHint }
+
+// Hinted reports whether the hint trap is armed.
+func (e *Entry) Hinted() bool { return e.flags&flagHint != 0 }
+
+type leafBlock struct {
+	entries [blockSize]Entry
+	present int
+}
+
+// Table is one page-table dimension: a sparse map from page number to
+// Entry. The zero Table is not usable; call New.
+type Table struct {
+	blocks map[uint64]*leafBlock
+	mapped uint64
+	// cache is a direct-mapped block-pointer cache in front of the map:
+	// the simulator's per-access hot path does two table lookups per
+	// guest access, and an array probe is several times cheaper than a
+	// map access.
+	cache [cacheSlots]blockCacheEntry
+}
+
+const cacheSlots = 1024 // power of two
+
+type blockCacheEntry struct {
+	key uint64
+	b   *leafBlock
+}
+
+// New returns an empty table.
+func New() *Table {
+	t := &Table{blocks: make(map[uint64]*leafBlock)}
+	for i := range t.cache {
+		t.cache[i].key = ^uint64(0)
+	}
+	return t
+}
+
+// blockFor returns the leaf block holding key, consulting the cache first.
+func (t *Table) blockFor(blockKey uint64) *leafBlock {
+	slot := &t.cache[blockKey&(cacheSlots-1)]
+	if slot.key == blockKey {
+		return slot.b
+	}
+	b := t.blocks[blockKey]
+	if b != nil {
+		slot.key, slot.b = blockKey, b
+	}
+	return b
+}
+
+// dropBlock removes a (now empty) leaf block and its cache entry.
+func (t *Table) dropBlock(blockKey uint64) {
+	delete(t.blocks, blockKey)
+	slot := &t.cache[blockKey&(cacheSlots-1)]
+	if slot.key == blockKey {
+		slot.key, slot.b = ^uint64(0), nil
+	}
+}
+
+// Mapped returns the number of present entries.
+func (t *Table) Mapped() uint64 { return t.mapped }
+
+// Lookup returns the entry for key, or nil when no leaf block exists or
+// the entry is not present. The returned pointer stays valid until the
+// entry is unmapped; hot paths use it to set A/D bits without re-hashing.
+func (t *Table) Lookup(key uint64) *Entry {
+	b := t.blockFor(key >> blockShift)
+	if b == nil {
+		return nil
+	}
+	e := &b.entries[key&blockMask]
+	if !e.Present() {
+		return nil
+	}
+	return e
+}
+
+// Map installs key→value. Mapping an already-present key panics: the
+// simulated kernels always unmap before remapping, and silent overwrite
+// would hide migration accounting bugs.
+func (t *Table) Map(key, value uint64) *Entry {
+	blockKey := key >> blockShift
+	b := t.blockFor(blockKey)
+	if b == nil {
+		b = &leafBlock{}
+		t.blocks[blockKey] = b
+	}
+	e := &b.entries[key&blockMask]
+	if e.Present() {
+		panic(fmt.Sprintf("pagetable: double map of key %#x", key))
+	}
+	*e = Entry{value: value, flags: flagPresent}
+	b.present++
+	t.mapped++
+	return e
+}
+
+// Unmap removes the mapping for key and returns its last value and dirty
+// state. Unmapping a non-present key panics.
+func (t *Table) Unmap(key uint64) (value uint64, dirty bool) {
+	blockKey := key >> blockShift
+	b := t.blockFor(blockKey)
+	if b == nil || !b.entries[key&blockMask].Present() {
+		panic(fmt.Sprintf("pagetable: unmap of non-present key %#x", key))
+	}
+	e := &b.entries[key&blockMask]
+	value, dirty = e.value, e.Dirty()
+	*e = Entry{}
+	b.present--
+	t.mapped--
+	if b.present == 0 {
+		t.dropBlock(blockKey)
+	}
+	return value, dirty
+}
+
+// Remap atomically changes the value of a present entry (used by migration
+// remap after a page copy) and clears its A/D bits, returning the old
+// value. The caller owns the TLB invalidation.
+func (t *Table) Remap(key, newValue uint64) (old uint64) {
+	e := t.Lookup(key)
+	if e == nil {
+		panic(fmt.Sprintf("pagetable: remap of non-present key %#x", key))
+	}
+	old = e.value
+	e.value = newValue
+	e.flags = flagPresent
+	return old
+}
+
+// sortedBlockKeys returns leaf block keys in ascending order so scans are
+// deterministic regardless of map iteration order.
+func (t *Table) sortedBlockKeys() []uint64 {
+	keys := make([]uint64, 0, len(t.blocks))
+	for k := range t.blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Scan visits every present entry in ascending key order. Returning false
+// from fn stops the scan. Scan reports how many entries were visited —
+// that count is what A-bit scanners charge CPU time for.
+func (t *Table) Scan(fn func(key uint64, e *Entry) bool) (visited int) {
+	for _, bk := range t.sortedBlockKeys() {
+		b := t.blocks[bk]
+		for i := range b.entries {
+			e := &b.entries[i]
+			if !e.Present() {
+				continue
+			}
+			visited++
+			if !fn(bk<<blockShift|uint64(i), e) {
+				return visited
+			}
+		}
+	}
+	return visited
+}
+
+// ScanRange visits present entries with keys in [lo, hi) in ascending
+// order. Used by range-aware scanners and by Demeter's relocation phase,
+// which only walks hot/cold ranges instead of the whole table.
+func (t *Table) ScanRange(lo, hi uint64, fn func(key uint64, e *Entry) bool) (visited int) {
+	if hi <= lo {
+		return 0
+	}
+	loBlock, hiBlock := lo>>blockShift, (hi-1)>>blockShift
+	for _, bk := range t.sortedBlockKeys() {
+		if bk < loBlock || bk > hiBlock {
+			continue
+		}
+		b := t.blocks[bk]
+		for i := range b.entries {
+			key := bk<<blockShift | uint64(i)
+			if key < lo || key >= hi {
+				continue
+			}
+			e := &b.entries[i]
+			if !e.Present() {
+				continue
+			}
+			visited++
+			if !fn(key, e) {
+				return visited
+			}
+		}
+	}
+	return visited
+}
+
+// ScanFrom visits up to maxVisits present entries with keys >= start in
+// ascending order, returning the number visited and the key to resume
+// from next time (0 when the scan reached the end of the table and should
+// wrap). It is the building block for LRU-style incremental scanners that
+// bound their per-round work instead of walking the whole table.
+func (t *Table) ScanFrom(start uint64, maxVisits int, fn func(key uint64, e *Entry) bool) (visited int, next uint64) {
+	if maxVisits <= 0 {
+		return 0, start
+	}
+	keys := t.sortedBlockKeys()
+	startBlock := start >> blockShift
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= startBlock })
+	for ; i < len(keys); i++ {
+		b := t.blocks[keys[i]]
+		for j := range b.entries {
+			key := keys[i]<<blockShift | uint64(j)
+			if key < start {
+				continue
+			}
+			e := &b.entries[j]
+			if !e.Present() {
+				continue
+			}
+			if visited >= maxVisits {
+				return visited, key
+			}
+			visited++
+			if !fn(key, e) {
+				return visited, key + 1
+			}
+		}
+	}
+	return visited, 0
+}
+
+// HarvestAccessed scans all present entries, reporting and clearing the
+// A bit of each. fn receives every present entry's key, value and whether
+// it was accessed since the previous harvest; visited is the number of
+// PTEs touched (the scan's CPU cost driver) and hot the number that had
+// the A bit set (each of which needs a TLB invalidation to keep future
+// A-bit observations truthful).
+func (t *Table) HarvestAccessed(fn func(key, value uint64, accessed bool)) (visited, hot int) {
+	visited = t.Scan(func(key uint64, e *Entry) bool {
+		a := e.Accessed()
+		if a {
+			hot++
+			e.ClearAccessed()
+		}
+		if fn != nil {
+			fn(key, e.value, a)
+		}
+		return true
+	})
+	return visited, hot
+}

@@ -1,0 +1,203 @@
+// Package pebs models Processor Event-Based Sampling as exposed to a guest
+// VM by PEBS version 5 ("EPT-friendly PEBS", §2.3.2 and §3.2.2 of the
+// paper). The model captures the properties the paper's design depends on:
+//
+//   - Samples carry the *guest virtual address* of the load, so a
+//     guest-side consumer needs no address translation per sample —
+//     unlike HeMem/Memtis, which translate each sample to a physical page.
+//   - The sample buffer is guest-private (virtualized via vmcs.debugctl),
+//     so concurrent VMs never see each other's samples.
+//   - The load-latency event with MSR_PEBS_LD_LAT_THRESHOLD filters out
+//     cache hits: only accesses slower than the threshold are eligible.
+//   - When the buffer fills before software drains it, the overshoot
+//     raises a Performance Monitoring Interrupt (PMI) whose handling cost
+//     is the inefficiency Demeter's fixed-period, context-switch-drained
+//     design avoids.
+//   - Before version 5, an architectural erratum made guest PEBS unsafe
+//     with lazily populated EPTs; the model refuses to arm in that
+//     configuration unless eager mapping is requested, mirroring §2.3.2.
+package pebs
+
+import (
+	"fmt"
+
+	"demeter/internal/sim"
+)
+
+// Event selects the PMU event programmed as the PEBS trigger.
+type Event int
+
+const (
+	// EventLoadLatency is MEM_TRANS_RETIRED.LOAD_LATENCY: media-agnostic,
+	// samples loads from every tier that exceed the latency threshold.
+	// One event covers a whole tiered system. Demeter's choice.
+	EventLoadLatency Event = iota
+	// EventL3Miss is MEM_LOAD_L3_MISS_RETIRED-style cache-miss sampling:
+	// media-specific, sees only slow-tier traffic, and a two-tier system
+	// needs at least two counters (doubling management overhead). Kept as
+	// the ablation baseline (HeMem/Memtis heritage).
+	EventL3Miss
+)
+
+func (e Event) String() string {
+	switch e {
+	case EventLoadLatency:
+		return "MEM_TRANS_RETIRED.LOAD_LATENCY"
+	case EventL3Miss:
+		return "MEM_LOAD_L3_MISS_RETIRED"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// Sample is one PEBS record as the guest sees it.
+type Sample struct {
+	GVPN    uint64       // guest virtual page number of the load
+	Latency sim.Duration // measured load-to-use latency
+}
+
+// Config programs a sampling unit.
+type Config struct {
+	// SamplePeriod is the number of qualifying events between consecutive
+	// buffer writes (the inverse of sample frequency). The paper's
+	// empirically chosen default is 4093.
+	SamplePeriod uint64
+	// LatencyThreshold is the MSR_PEBS_LD_LAT_THRESHOLD value: loads
+	// faster than this never qualify. 64ns sits between the platform's
+	// 53.6ns cache hit and 68.7ns DRAM latencies.
+	LatencyThreshold sim.Duration
+	// BufferEntries is the PEBS buffer capacity before a PMI fires.
+	BufferEntries int
+	// Event selects the trigger event.
+	Event Event
+	// Version is the PEBS architecture version. Versions < 5 carry the
+	// EPT interaction erratum and require EagerEPT to arm inside a VM.
+	Version int
+	// EagerEPT declares that the VM's memory is fully pre-mapped and
+	// unswappable, the pre-v5 workaround that sacrifices overcommitment.
+	EagerEPT bool
+}
+
+// DefaultConfig is the paper's production configuration (§3.2.2, §5.2.3).
+func DefaultConfig() Config {
+	return Config{
+		SamplePeriod:     4093,
+		LatencyThreshold: 64,
+		BufferEntries:    512,
+		Event:            EventLoadLatency,
+		Version:          5,
+	}
+}
+
+// Stats counts unit activity.
+type Stats struct {
+	Qualifying uint64 // accesses that passed the event/threshold filter
+	Samples    uint64 // records written to the buffer
+	PMIs       uint64 // buffer overshoots
+	Dropped    uint64 // samples lost to a full buffer with no PMI handler
+	Drains     uint64 // Drain invocations
+}
+
+// Unit is one VM's virtualized PEBS facility. The buffer is private to the
+// owning VM by construction: nothing outside the Unit can observe samples.
+type Unit struct {
+	cfg     Config
+	armed   bool
+	counter uint64
+	buffer  []Sample
+	stats   Stats
+
+	// OnPMI, when set, is invoked on buffer overshoot. The handler is
+	// expected to Drain; its CPU cost is charged by the caller's ledger.
+	OnPMI func()
+}
+
+// NewUnit validates cfg and returns a disarmed unit.
+func NewUnit(cfg Config) (*Unit, error) {
+	if cfg.SamplePeriod == 0 {
+		return nil, fmt.Errorf("pebs: sample period must be positive")
+	}
+	if cfg.BufferEntries <= 0 {
+		return nil, fmt.Errorf("pebs: buffer must hold at least one entry")
+	}
+	if cfg.LatencyThreshold < 0 {
+		return nil, fmt.Errorf("pebs: negative latency threshold")
+	}
+	return &Unit{cfg: cfg, counter: cfg.SamplePeriod}, nil
+}
+
+// Arm enables sampling. Under a pre-v5 PEBS with a lazily populated EPT
+// the write process can be interrupted by an EPT fault and corrupt machine
+// state (the erratum in §2.3.2), so arming fails unless EagerEPT is set.
+func (u *Unit) Arm() error {
+	if u.cfg.Version < 5 && !u.cfg.EagerEPT {
+		return fmt.Errorf("pebs: version %d is not EPT-friendly; guest PEBS requires eager EPT mapping", u.cfg.Version)
+	}
+	u.armed = true
+	return nil
+}
+
+// Disarm stops sampling; buffered samples remain drainable.
+func (u *Unit) Disarm() { u.armed = false }
+
+// Armed reports whether the unit is sampling.
+func (u *Unit) Armed() bool { return u.armed }
+
+// Config returns the programmed configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Stats returns a copy of the counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// Record observes one guest load: gvpn is the accessed virtual page,
+// latency the modelled load latency, fastTier whether the backing frame is
+// FMEM. It is the per-access hot path and does nothing beyond a counter
+// decrement for non-qualifying or between-period accesses.
+func (u *Unit) Record(gvpn uint64, latency sim.Duration, fastTier bool) {
+	if !u.armed {
+		return
+	}
+	if latency < u.cfg.LatencyThreshold {
+		return // filtered by MSR_PEBS_LD_LAT_THRESHOLD
+	}
+	if u.cfg.Event == EventL3Miss && fastTier {
+		// Cache-miss events are media-specific: a single counter sees
+		// only slow-tier traffic.
+		return
+	}
+	u.stats.Qualifying++
+	u.counter--
+	if u.counter > 0 {
+		return
+	}
+	u.counter = u.cfg.SamplePeriod
+	if len(u.buffer) >= u.cfg.BufferEntries {
+		// Overshoot: PMI if a handler is installed, else the record is
+		// lost. Either way the hardware signals the overflow.
+		u.stats.PMIs++
+		if u.OnPMI != nil {
+			u.OnPMI()
+		}
+		if len(u.buffer) >= u.cfg.BufferEntries {
+			u.stats.Dropped++
+			return
+		}
+	}
+	u.buffer = append(u.buffer, Sample{GVPN: gvpn, Latency: latency})
+	u.stats.Samples++
+}
+
+// Drain returns all buffered samples and empties the buffer. The returned
+// slice is owned by the caller.
+func (u *Unit) Drain() []Sample {
+	u.stats.Drains++
+	if len(u.buffer) == 0 {
+		return nil
+	}
+	out := u.buffer
+	u.buffer = make([]Sample, 0, u.cfg.BufferEntries)
+	return out
+}
+
+// Buffered returns the number of undrained samples.
+func (u *Unit) Buffered() int { return len(u.buffer) }

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.RunUntilIdle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func() {})
+}
+
+func TestAfterFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.RunUntilIdle()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(100, func() { fired++ })
+	e.Run(50)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock should advance to horizon, got %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run(200)
+	if fired != 2 {
+		t.Fatalf("fired = %d after second run", fired)
+	}
+}
+
+func TestRunDrainedQueueStaysAtLastEvent(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	got := e.Run(1000)
+	if got != 10 {
+		t.Fatalf("Run returned %v, want 10 (idle clock must not jump)", got)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	tk := e.StartTicker(10, func(now Time) {
+		fires = append(fires, now)
+	})
+	e.Run(35)
+	tk.Stop()
+	e.Run(100)
+	if len(fires) != 3 {
+		t.Fatalf("fires = %v", fires)
+	}
+	if fires[0] != 10 || fires[1] != 20 || fires[2] != 30 {
+		t.Fatalf("fires = %v", fires)
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.StartTicker(5, func(Time) {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.RunUntilIdle()
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	NewEngine().StartTicker(0, func(Time) {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.Schedule(Time((i*37)%50), func() { order = append(order, i) })
+		}
+		e.RunUntilIdle()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic dispatch at %d", i)
+		}
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := NewLedger()
+	l.Charge("track", 100)
+	l.Charge("track", 50)
+	l.Charge("migrate", 200)
+	if l.Total("track") != 150 {
+		t.Fatalf("track = %v", l.Total("track"))
+	}
+	if l.Sum() != 350 {
+		t.Fatalf("sum = %v", l.Sum())
+	}
+	comps := l.Components()
+	if len(comps) != 2 || comps[0] != "migrate" || comps[1] != "track" {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestLedgerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	NewLedger().Charge("x", -1)
+}
+
+func TestLedgerMergeAndCores(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	a.Charge("x", Second)
+	b.Charge("x", Second)
+	b.Charge("y", 2*Second)
+	a.Merge(b)
+	if a.Sum() != 4*Second {
+		t.Fatalf("sum = %v", a.Sum())
+	}
+	if got := a.CoresUsed(2 * Second); got != 2.0 {
+		t.Fatalf("cores = %v", got)
+	}
+	if NewLedger().CoresUsed(0) != 0 {
+		t.Fatal("CoresUsed(0) should be 0")
+	}
+	a.Reset()
+	if a.Sum() != 0 {
+		t.Fatal("reset did not clear ledger")
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := map[Time]string{
+		5:               "5ns",
+		1500:            "1.500µs",
+		2 * Millisecond: "2.000ms",
+		3 * Second:      "3.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestPropertyClockNeverRegresses(t *testing.T) {
+	err := quick.Check(func(delays []uint16) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.After(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.RunUntilIdle()
+		return ok
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package simrand provides deterministic pseudo-random number generation
+// for the simulator. All experiments are seeded, so identical invocations
+// produce identical event streams, access traces and therefore identical
+// harness output. The package deliberately avoids math/rand's global state:
+// every component owns its own Source, and sources derived from the same
+// parent with distinct labels are statistically independent.
+package simrand
+
+import "math"
+
+// Source is a splitmix64-seeded xoshiro256** generator. The zero value is
+// not valid; use New or Derive.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a 64-bit state and returns a well-mixed output. It is
+// used to expand seeds into full generator state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield independent
+// streams.
+func New(seed uint64) *Source {
+	var src Source
+	st := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 of any
+	// seed cannot produce four zero words, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Derive returns a new Source whose stream is independent from src and from
+// any sibling derived with a different label. It does not disturb src's own
+// stream, so adding a Derive call never changes existing results.
+func (src *Source) Derive(label uint64) *Source {
+	st := src.s[0] ^ src.s[3] ^ (label * 0xd1342543de82ef95)
+	var out Source
+	for i := range out.s {
+		out.s[i] = splitmix64(&st)
+	}
+	if out.s[0]|out.s[1]|out.s[2]|out.s[3] == 0 {
+		out.s[0] = 1
+	}
+	return &out
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (src *Source) Uint64() uint64 {
+	s := &src.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (src *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("simrand: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	v := src.Uint64()
+	hi, lo := mul64(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = src.Uint64()
+			hi, lo = mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (src *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn with n <= 0")
+	}
+	return int(src.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (src *Source) Float64() float64 {
+	return float64(src.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p.
+func (src *Source) Bool(p float64) bool {
+	return src.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (src *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := src.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the elements addressed by swap using the Fisher-Yates
+// algorithm.
+func (src *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (src *Source) Exp(mean float64) float64 {
+	u := src.Float64()
+	// Avoid log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}
+
+// Zipf draws values in [0, n) following a Zipfian distribution with
+// exponent s > 1 approximated by rejection-inversion (Hörmann/Derflinger).
+// Workloads with power-law access skew (graph500, PageRank) use it.
+type Zipf struct {
+	src              *Source
+	n                uint64
+	s                float64
+	oneMinusS        float64
+	oneOverOneMinusS float64
+	hIntegralX1      float64
+	hIntegralN       float64
+	scale            float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s (s > 1 gives
+// heavier skew toward small values; s must be > 0 and != 1).
+func NewZipf(src *Source, s float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("simrand: NewZipf with n == 0")
+	}
+	if s <= 0 || s == 1 {
+		panic("simrand: NewZipf exponent must be > 0 and != 1")
+	}
+	z := &Zipf{src: src, n: n, s: s}
+	z.oneMinusS = 1 - s
+	z.oneOverOneMinusS = 1 / z.oneMinusS
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.scale = z.hIntegralN - z.hIntegralX1
+	return z
+}
+
+// hIntegral is the antiderivative of x^(-s).
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+// helper2 computes (exp(x)-1)/x with care near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x/3*(1+x*0.25))
+}
+
+// hIntegralInverse inverts hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with care near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*0.5*(1-x/3*(1-x*0.25))
+}
+
+// Next returns the next Zipf-distributed value in [0, n).
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralX1 + z.src.Float64()*z.scale
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		// Accept k when u falls within the histogram bar of k:
+		// h(k) = k^-s, and the bar spans [hIntegral(k+0.5)-h(k), hIntegral(k+0.5)].
+		if u >= z.hIntegral(k+0.5)-math.Exp(-z.s*math.Log(k)) {
+			return uint64(k) - 1
+		}
+	}
+}

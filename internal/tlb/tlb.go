@@ -1,0 +1,164 @@
+// Package tlb models a translation lookaside buffer caching flattened 2D
+// translations (gVA page → host frame). Its two invalidation primitives
+// mirror the x86 instruction classes the paper counts in Table 1:
+//
+//   - FlushSingle: invlpg/invvpid/invpcid — removes the entry for one gVA.
+//     Available only to software that knows the gVA, i.e. the guest.
+//   - FlushAll: invept — destroys every entry derived from an EPT. This is
+//     the only tool a hypervisor has after clearing EPT A/D bits, because
+//     EPT entries carry no gVA to invalidate selectively.
+//
+// The performance coupling is causal in the model: a flushed entry forces
+// the next access to that page through a full 2D page-table walk, so flush
+// counts translate into slowdown exactly as in §2.3.1.
+package tlb
+
+import "fmt"
+
+// Entry identity: one cached translation.
+type way struct {
+	gvpn  uint64
+	hpfn  uint64
+	valid bool
+}
+
+// Stats holds instruction and traffic counters. Single/Full count flush
+// *instructions issued* (the unit of Table 1), independent of whether a
+// matching entry was cached.
+type Stats struct {
+	Lookups       uint64
+	Hits          uint64
+	Misses        uint64
+	SingleFlushes uint64
+	FullFlushes   uint64
+	Evictions     uint64
+	Fills         uint64
+}
+
+// HitRate returns hits/lookups, or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// TLB is a set-associative translation cache. Not safe for concurrent use;
+// the simulation is single-threaded.
+type TLB struct {
+	sets    [][]way
+	ways    int
+	setMask uint64
+	next    []int // per-set round-robin replacement cursor
+	stats   Stats
+}
+
+// New returns a TLB with the given total entry count and associativity.
+// entries must be a multiple of ways and entries/ways a power of two.
+func New(entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", entries, ways))
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("tlb: set count %d not a power of two", nsets))
+	}
+	t := &TLB{
+		sets:    make([][]way, nsets),
+		ways:    ways,
+		setMask: uint64(nsets - 1),
+		next:    make([]int, nsets),
+	}
+	for i := range t.sets {
+		t.sets[i] = make([]way, ways)
+	}
+	return t
+}
+
+// NewDefault returns a TLB with the default geometry: 16384 entries,
+// 8-way. A hardware STLB has ~2K entries, but guests back large regions
+// with 2 MiB huge pages; the widened reach stands in for THP coverage at
+// the simulator's 4 KiB granularity.
+func NewDefault() *TLB { return New(16384, 8) }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters without touching cached entries.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Lookup returns the cached host frame for gvpn. A hit refreshes nothing
+// (replacement is round-robin, not LRU: deterministic and close enough for
+// miss-rate shaping).
+func (t *TLB) Lookup(gvpn uint64) (hpfn uint64, ok bool) {
+	t.stats.Lookups++
+	set := t.sets[gvpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].gvpn == gvpn {
+			t.stats.Hits++
+			return set[i].hpfn, true
+		}
+	}
+	t.stats.Misses++
+	return 0, false
+}
+
+// Insert caches gvpn→hpfn after a walk, evicting round-robin within the
+// set when full. Inserting an existing gvpn updates it in place.
+func (t *TLB) Insert(gvpn, hpfn uint64) {
+	si := gvpn & t.setMask
+	set := t.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].gvpn == gvpn {
+			set[i].hpfn = hpfn
+			return
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = way{gvpn: gvpn, hpfn: hpfn, valid: true}
+			t.stats.Fills++
+			return
+		}
+	}
+	v := t.next[si]
+	t.next[si] = (v + 1) % t.ways
+	set[v] = way{gvpn: gvpn, hpfn: hpfn, valid: true}
+	t.stats.Evictions++
+	t.stats.Fills++
+}
+
+// FlushSingle issues one single-address invalidation for gvpn.
+func (t *TLB) FlushSingle(gvpn uint64) {
+	t.stats.SingleFlushes++
+	set := t.sets[gvpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].gvpn == gvpn {
+			set[i] = way{}
+			return
+		}
+	}
+}
+
+// FlushAll issues a full invalidation (invept), destroying all entries.
+func (t *TLB) FlushAll() {
+	t.stats.FullFlushes++
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+}
+
+// Occupied returns the number of valid entries (test/diagnostic use).
+func (t *TLB) Occupied() int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

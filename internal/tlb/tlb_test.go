@@ -1,0 +1,204 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"demeter/internal/simrand"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(16, 4)
+	if _, ok := tl.Lookup(100); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tl.Insert(100, 7)
+	hpfn, ok := tl.Lookup(100)
+	if !ok || hpfn != 7 {
+		t.Fatalf("lookup = %d,%v", hpfn, ok)
+	}
+	s := tl.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	tl := New(16, 4)
+	tl.Insert(5, 1)
+	tl.Insert(5, 2)
+	hpfn, ok := tl.Lookup(5)
+	if !ok || hpfn != 2 {
+		t.Fatalf("lookup = %d,%v", hpfn, ok)
+	}
+	if tl.Occupied() != 1 {
+		t.Fatalf("occupied = %d", tl.Occupied())
+	}
+}
+
+func TestEvictionWithinSet(t *testing.T) {
+	tl := New(8, 2) // 4 sets, 2 ways
+	// Keys 0, 4, 8 all map to set 0. Third insert evicts.
+	tl.Insert(0, 10)
+	tl.Insert(4, 14)
+	tl.Insert(8, 18)
+	if tl.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", tl.Stats().Evictions)
+	}
+	if tl.Occupied() != 2 {
+		t.Fatalf("occupied = %d", tl.Occupied())
+	}
+	// 8 must be cached; exactly one of 0/4 survived.
+	if _, ok := tl.Lookup(8); !ok {
+		t.Fatal("most recent insert evicted")
+	}
+}
+
+func TestFlushSingle(t *testing.T) {
+	tl := New(16, 4)
+	tl.Insert(3, 30)
+	tl.Insert(4, 40)
+	tl.FlushSingle(3)
+	if _, ok := tl.Lookup(3); ok {
+		t.Fatal("entry survived single flush")
+	}
+	if _, ok := tl.Lookup(4); !ok {
+		t.Fatal("single flush removed unrelated entry")
+	}
+	// Counter counts instructions even when nothing matches.
+	tl.FlushSingle(999)
+	if tl.Stats().SingleFlushes != 2 {
+		t.Fatalf("single flushes = %d", tl.Stats().SingleFlushes)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := New(64, 4)
+	for i := uint64(0); i < 32; i++ {
+		tl.Insert(i, i)
+	}
+	tl.FlushAll()
+	if tl.Occupied() != 0 {
+		t.Fatalf("occupied = %d after FlushAll", tl.Occupied())
+	}
+	if tl.Stats().FullFlushes != 1 {
+		t.Fatalf("full flushes = %d", tl.Stats().FullFlushes)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {7, 2}, {24, 2}, {-8, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", g[0], g[1])
+				}
+			}()
+			New(g[0], g[1])
+		}()
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	tl := New(16, 4)
+	if tl.Stats().HitRate() != 0 {
+		t.Fatal("idle hit rate should be 0")
+	}
+	tl.Insert(1, 1)
+	tl.Lookup(1)
+	tl.Lookup(2)
+	if got := tl.Stats().HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v", got)
+	}
+}
+
+func TestResetStatsKeepsEntries(t *testing.T) {
+	tl := New(16, 4)
+	tl.Insert(1, 1)
+	tl.Lookup(1)
+	tl.ResetStats()
+	if tl.Stats().Lookups != 0 {
+		t.Fatal("stats not reset")
+	}
+	if _, ok := tl.Lookup(1); !ok {
+		t.Fatal("ResetStats dropped cached entries")
+	}
+}
+
+// A small working set must achieve a high hit rate; a working set far
+// larger than the TLB must mostly miss. This is the mechanism that turns
+// flush counts into runtime in every experiment.
+func TestHitRateTracksWorkingSet(t *testing.T) {
+	src := simrand.New(1)
+	run := func(workingSet uint64) float64 {
+		tl := NewDefault()
+		for i := 0; i < 200000; i++ {
+			p := src.Uint64n(workingSet)
+			if _, ok := tl.Lookup(p); !ok {
+				tl.Insert(p, p)
+			}
+		}
+		return tl.Stats().HitRate()
+	}
+	small := run(256)    // fits easily
+	large := run(100000) // ~65x capacity
+	if small < 0.95 {
+		t.Errorf("small working set hit rate = %v, want > 0.95", small)
+	}
+	if large > 0.2 {
+		t.Errorf("large working set hit rate = %v, want < 0.2", large)
+	}
+}
+
+func TestFullFlushCausesMissStorm(t *testing.T) {
+	tl := NewDefault()
+	for i := uint64(0); i < 1000; i++ {
+		if _, ok := tl.Lookup(i); !ok {
+			tl.Insert(i, i)
+		}
+	}
+	tl.ResetStats()
+	// Warm re-touch: all hits.
+	for i := uint64(0); i < 1000; i++ {
+		tl.Lookup(i)
+	}
+	warm := tl.Stats().Hits
+	tl.FlushAll()
+	tl.ResetStats()
+	for i := uint64(0); i < 1000; i++ {
+		tl.Lookup(i)
+	}
+	cold := tl.Stats().Hits
+	if warm < 900 {
+		t.Fatalf("warm hits = %d", warm)
+	}
+	if cold != 0 {
+		t.Fatalf("cold hits after FlushAll = %d", cold)
+	}
+}
+
+func TestPropertyLookupNeverReturnsStaleAfterFlush(t *testing.T) {
+	err := quick.Check(func(keys []uint16) bool {
+		tl := New(64, 4)
+		for _, k := range keys {
+			tl.Insert(uint64(k), uint64(k)+1)
+			tl.FlushSingle(uint64(k))
+			if _, ok := tl.Lookup(uint64(k)); ok {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tl := NewDefault()
+	tl.Insert(42, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Lookup(42)
+	}
+}

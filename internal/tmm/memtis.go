@@ -1,0 +1,243 @@
+package tmm
+
+import (
+	"fmt"
+	"sort"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/pagetable"
+	"demeter/internal/pebs"
+	"demeter/internal/sim"
+)
+
+// MemtisConfig tunes the Memtis model.
+type MemtisConfig struct {
+	// SamplePeriod is the PEBS period. Memtis varies it dynamically to
+	// hold a CPU budget; the model uses its steady-state midpoint.
+	SamplePeriod uint64
+	// PollPeriod is the dedicated collection kthread's cadence.
+	PollPeriod sim.Duration
+	// KthreadShare is the fraction of one core the collection thread
+	// burns even when idle — the overhead Demeter's context-switch
+	// draining eliminates (Figure 7's 16× tracking gap).
+	KthreadShare float64
+	// HotThreshold is the per-page access count that classifies a page
+	// hot. Static thresholds are exactly what §3.2.1 criticizes: pages
+	// just below it are never promoted regardless of FMEM headroom.
+	HotThreshold float64
+	// ClassifyPeriod is the classification + migration cadence.
+	ClassifyPeriod sim.Duration
+	// CoolEveryRounds halves the histogram every N classification
+	// rounds (Memtis' periodic cooling).
+	CoolEveryRounds uint64
+	// MigrationBatch caps page moves per classification round.
+	MigrationBatch int
+}
+
+// DefaultMemtisConfig mirrors Memtis' published configuration.
+func DefaultMemtisConfig() MemtisConfig {
+	return MemtisConfig{
+		SamplePeriod:    2039,
+		PollPeriod:      sim.Millisecond,
+		KthreadShare:    0.10,
+		HotThreshold:    4,
+		ClassifyPeriod:  sim.Second,
+		CoolEveryRounds: 10,
+		MigrationBatch:  4096,
+	}
+}
+
+// Memtis is the PEBS-based kernel TMM run inside the guest. Differences
+// from Demeter, each individually modelled: a dedicated polling thread
+// (continuous CPU), per-sample software translation of the sampled gVA to
+// a physical page (it classifies in PA space), a per-page histogram
+// instead of ranges, and a static hot threshold instead of
+// capacity-adaptive ranking.
+type Memtis struct {
+	Cfg MemtisConfig
+
+	eng      *sim.Engine
+	vm       *hypervisor.VM
+	unit     *pebs.Unit
+	hist     map[uint64]float64 // gpfn → decayed access count
+	poll     *sim.Ticker
+	classify *sim.Ticker
+	active   bool
+	stats    MemtisStats
+}
+
+// MemtisStats counts activity.
+type MemtisStats struct {
+	Samples    uint64
+	Translated uint64
+	Promoted   uint64
+	Demoted    uint64
+	Rounds     uint64
+}
+
+// NewMemtis returns a detached Memtis.
+func NewMemtis(cfg MemtisConfig) *Memtis { return &Memtis{Cfg: cfg} }
+
+// Name implements Policy.
+func (p *Memtis) Name() string { return "memtis" }
+
+// Stats returns a copy of the counters.
+func (p *Memtis) Stats() MemtisStats { return p.stats }
+
+// Attach implements Policy.
+func (p *Memtis) Attach(eng *sim.Engine, vm *hypervisor.VM) {
+	if p.active {
+		panic("tmm: Memtis attached twice")
+	}
+	p.eng, p.vm, p.active = eng, vm, true
+	p.hist = make(map[uint64]float64)
+
+	pcfg := pebs.DefaultConfig()
+	pcfg.SamplePeriod = p.Cfg.SamplePeriod
+	unit, err := pebs.NewUnit(pcfg)
+	if err != nil {
+		panic(fmt.Sprintf("tmm: bad Memtis PEBS config: %v", err))
+	}
+	p.unit = unit
+	vm.PEBS = unit
+	if err := unit.Arm(); err != nil {
+		panic(fmt.Sprintf("tmm: Memtis PEBS arm failed: %v", err))
+	}
+	unit.OnPMI = func() {
+		vm.ChargeGuest(CompTrack, vm.Machine.Cost.PMICost)
+		p.drain()
+	}
+
+	p.poll = eng.StartTicker(p.Cfg.PollPeriod, func(sim.Time) {
+		if !p.active {
+			return
+		}
+		// The kthread burns its share whether or not samples arrived.
+		vm.ChargeGuest(CompTrack, sim.Duration(float64(p.Cfg.PollPeriod)*p.Cfg.KthreadShare))
+		p.drain()
+	})
+	p.classify = eng.StartTicker(p.Cfg.ClassifyPeriod, func(sim.Time) {
+		if p.active {
+			p.round()
+		}
+	})
+}
+
+// Detach implements Policy.
+func (p *Memtis) Detach() {
+	if !p.active {
+		return
+	}
+	p.active = false
+	p.poll.Stop()
+	p.classify.Stop()
+	p.unit.Disarm()
+}
+
+// drain consumes PEBS samples, translating each to a physical page —
+// the per-sample page-table walk Demeter's direct-gVA feed avoids.
+func (p *Memtis) drain() {
+	samples := p.unit.Drain()
+	if len(samples) == 0 {
+		return
+	}
+	vm := p.vm
+	cm := &vm.Machine.Cost
+	cost := sim.Duration(len(samples)) * (cm.SampleHandleCost + cm.TranslateCost)
+	vm.ChargeGuest(CompTrack, cost)
+	for _, s := range samples {
+		p.stats.Samples++
+		if gpfn, ok := vm.Proc.Translate(s.GVPN); ok {
+			p.stats.Translated++
+			p.hist[uint64(gpfn)]++
+		}
+	}
+}
+
+// round decays the histogram and migrates by static threshold.
+func (p *Memtis) round() {
+	vm := p.vm
+	cm := &vm.Machine.Cost
+	kernel := vm.Kernel
+
+	var hot []uint64      // slow-tier gpfns above the threshold
+	var coldFast []uint64 // fast-tier gpfns below it
+	// Iterate in sorted key order: map order would make runs
+	// non-reproducible.
+	keys := make([]uint64, 0, len(p.hist))
+	for gpfn := range p.hist {
+		keys = append(keys, gpfn)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	cool := p.Cfg.CoolEveryRounds > 0 && (p.stats.Rounds+1)%p.Cfg.CoolEveryRounds == 0
+	for _, gpfn := range keys {
+		count := p.hist[gpfn]
+		if count >= p.Cfg.HotThreshold {
+			if kernel.NodeOfGPFN(mem.Frame(gpfn)) != 0 && len(hot) < p.Cfg.MigrationBatch {
+				hot = append(hot, gpfn)
+			}
+		} else if kernel.NodeOfGPFN(mem.Frame(gpfn)) == 0 && len(coldFast) < 4*p.Cfg.MigrationBatch {
+			coldFast = append(coldFast, gpfn)
+		}
+		if cool {
+			p.hist[gpfn] = count / 2
+			if p.hist[gpfn] < 0.25 {
+				delete(p.hist, gpfn)
+			}
+		}
+	}
+	vm.ChargeGuest(CompClassify, sim.Duration(len(p.hist))*cm.PTEOpCost)
+	p.stats.Rounds++
+
+	// Memtis migrates physical pages; the guest variant moves the gVA
+	// mapped at each gpfn. Find the gVAs by a reverse scan, bounded by
+	// the batch — this cost is part of classification.
+	if len(hot) == 0 {
+		return
+	}
+	gvaOf := p.reverseMap(hot, coldFast)
+	vm.ChargeGuest(CompClassify, sim.Duration(vm.Proc.GPT.Mapped())*cm.PTEOpCost/4)
+
+	var migrateCost sim.Duration
+	fastNode := kernel.Topo.Nodes[0]
+	ci := 0
+	for fastNode.FreeFrames() < uint64(len(hot)) && ci < len(coldFast) {
+		if gvpn, ok := gvaOf[coldFast[ci]]; ok {
+			if cost, moved := vm.MigrateGuestPage(gvpn, 1); moved {
+				migrateCost += cost
+				p.stats.Demoted++
+			}
+		}
+		ci++
+	}
+	for _, gpfn := range hot {
+		gvpn, ok := gvaOf[gpfn]
+		if !ok {
+			continue
+		}
+		if cost, moved := vm.MigrateGuestPage(gvpn, 0); moved {
+			migrateCost += cost
+			p.stats.Promoted++
+		}
+	}
+	vm.ChargeGuest(CompMigrate, migrateCost)
+}
+
+// reverseMap finds the gVA currently mapping each wanted gpfn.
+func (p *Memtis) reverseMap(lists ...[]uint64) map[uint64]uint64 {
+	wanted := make(map[uint64]uint64)
+	for _, l := range lists {
+		for _, gpfn := range l {
+			wanted[gpfn] = 0
+		}
+	}
+	out := make(map[uint64]uint64, len(wanted))
+	p.vm.Proc.GPT.Scan(func(gvpn uint64, e *pagetable.Entry) bool {
+		if _, ok := wanted[e.Value()]; ok {
+			out[e.Value()] = gvpn
+		}
+		return len(out) < len(wanted)
+	})
+	return out
+}

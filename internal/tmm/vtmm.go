@@ -1,0 +1,224 @@
+package tmm
+
+import (
+	"sort"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/pagetable"
+	"demeter/internal/sim"
+)
+
+// VTMMConfig tunes the vTMM model.
+type VTMMConfig struct {
+	// SortPeriod is the classification cadence: vTMM aggregates access
+	// information across rounds, then sorts page frequencies.
+	SortPeriod sim.Duration
+	// ScanBatchPages bounds the read-side EPT A-bit scan per round.
+	ScanBatchPages int
+	// DirtyResetBatch is how many EPT D bits are cleared per round to
+	// re-arm PML (each batch forces an invept, like A-bit harvesting).
+	DirtyResetBatch int
+	// MigrationBatch caps host migrations per round.
+	MigrationBatch int
+	// HotFraction is the share of FMEM refilled with the sort's top
+	// pages each round.
+	HotFraction float64
+}
+
+// DefaultVTMMConfig mirrors vTMM's published cadence at full time scale.
+func DefaultVTMMConfig() VTMMConfig {
+	return VTMMConfig{
+		SortPeriod:      sim.Second,
+		ScanBatchPages:  28000,
+		DirtyResetBatch: 4096,
+		MigrationBatch:  4096,
+		HotFraction:     0.5,
+	}
+}
+
+// VTMM models vTMM (EuroSys'23): hypervisor-based tiered memory
+// management that tracks guest writes with Intel PML and reads with EPT
+// A-bit scanning, classifies by sorting per-page access counts, and
+// migrates at the host level. It inherits every hypervisor-side handicap
+// the paper identifies: PML's fixed-frequency VM exits (§7.3), full EPT
+// invalidations to re-arm both A and D bits, sorting cost over
+// uncorrelated physical pages, and host-level migration flushes.
+type VTMM struct {
+	Cfg VTMMConfig
+
+	eng         *sim.Engine
+	vm          *hypervisor.VM
+	pml         *hypervisor.PML
+	counts      map[uint64]float64 // gpfn → access score
+	ticker      *sim.Ticker
+	cursor      uint64
+	dirtyCursor uint64
+	active      bool
+	stats       ScanStats
+
+	// PMLExits mirrors the PML unit's exit count for reporting.
+	PMLExits uint64
+}
+
+// NewVTMM returns a detached vTMM.
+func NewVTMM(cfg VTMMConfig) *VTMM { return &VTMM{Cfg: cfg} }
+
+// Name implements Policy.
+func (p *VTMM) Name() string { return "vtmm" }
+
+// Stats returns a copy of the counters.
+func (p *VTMM) Stats() ScanStats { return p.stats }
+
+// Attach implements Policy.
+func (p *VTMM) Attach(eng *sim.Engine, vm *hypervisor.VM) {
+	if p.active {
+		panic("tmm: vTMM attached twice")
+	}
+	p.eng, p.vm, p.active = eng, vm, true
+	p.counts = make(map[uint64]float64)
+	p.pml = hypervisor.NewPML()
+	p.pml.OnFull = func(gpfns []uint64) {
+		// Drain on the exit path: each logged write bumps its page.
+		vm.ChargeHost(CompTrack, sim.Duration(len(gpfns))*vm.Machine.Cost.SampleHandleCost)
+		for _, g := range gpfns {
+			p.counts[g]++
+		}
+	}
+	vm.EnablePML(p.pml)
+	p.ticker = eng.StartTicker(p.Cfg.SortPeriod, func(sim.Time) {
+		if p.active {
+			p.round()
+		}
+	})
+}
+
+// Detach implements Policy.
+func (p *VTMM) Detach() {
+	if !p.active {
+		return
+	}
+	p.active = false
+	p.ticker.Stop()
+	p.vm.DisablePML()
+}
+
+func (p *VTMM) round() {
+	vm := p.vm
+	cm := &vm.Machine.Cost
+	fastHost := vm.Machine.Topo.FastNode()
+	slowHost := vm.Machine.Topo.SlowNode()
+
+	// Read-side tracking: EPT A-bit scan (like H-TPP, full flush per
+	// round because there is no gVA to invalidate with).
+	cleared := 0
+	visited, next := vm.EPT.ScanFrom(p.cursor, p.Cfg.ScanBatchPages, func(gpfn uint64, e *pagetable.Entry) bool {
+		if e.Accessed() {
+			e.ClearAccessed()
+			p.counts[gpfn]++
+			cleared++
+		}
+		return true
+	})
+	p.cursor = next
+	var flushCost sim.Duration
+	if cleared > 0 {
+		flushCost += vm.FlushFull()
+	}
+
+	// Write-side re-arm: clear a batch of D bits so PML keeps logging;
+	// EPT modification again requires invept.
+	dirtyCleared := 0
+	_, p.dirtyCursor = vm.EPT.ScanFrom(p.dirtyCursor, p.Cfg.DirtyResetBatch, func(gpfn uint64, e *pagetable.Entry) bool {
+		if e.Dirty() {
+			e.ClearDirty()
+			dirtyCleared++
+		}
+		return true
+	})
+	if dirtyCleared > 0 {
+		flushCost += vm.FlushFull()
+	}
+	p.stats.Rounds++
+	p.stats.PTEsVisited += uint64(visited)
+	p.stats.HotObserved += uint64(cleared)
+	p.PMLExits = p.pml.Stats().Exits
+
+	scanCost := sim.Duration(visited+p.Cfg.DirtyResetBatch) * cm.ScanPTECost
+	vm.ChargeHost(CompTrack, scanCost+flushCost)
+
+	// Classification: sort all tracked pages by score (vTMM's frequency
+	// sort), charging n log n comparisons.
+	type pageScore struct {
+		gpfn  uint64
+		score float64
+	}
+	pages := make([]pageScore, 0, len(p.counts))
+	for g, c := range p.counts {
+		pages = append(pages, pageScore{g, c})
+		p.counts[g] = c / 2 // decay
+		if p.counts[g] < 0.25 {
+			delete(p.counts, g)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].score != pages[j].score {
+			return pages[i].score > pages[j].score
+		}
+		return pages[i].gpfn < pages[j].gpfn
+	})
+	n := len(pages)
+	sortCost := sim.Duration(0)
+	if n > 1 {
+		logN := 0
+		for v := n; v > 1; v >>= 1 {
+			logN++
+		}
+		sortCost = sim.Duration(n*logN) * cm.PTEOpCost
+	}
+	vm.ChargeHost(CompClassify, sortCost)
+
+	// Migration: fill a slice of FMEM with the sort's top pages.
+	var migrateCost sim.Duration
+	budget := int(float64(fastHost.Frames()) * p.Cfg.HotFraction)
+	if budget > p.Cfg.MigrationBatch {
+		budget = p.Cfg.MigrationBatch
+	}
+	moved := 0
+	for _, ps := range pages {
+		if moved >= budget {
+			break
+		}
+		he := vm.EPT.Lookup(ps.gpfn)
+		if he == nil || fastHost.Contains(hostFrameOf(he)) {
+			continue
+		}
+		// Make room by demoting from the bottom of the sort.
+		if fastHost.FreeFrames() == 0 {
+			demoted := false
+			for i := len(pages) - 1; i > 0; i-- {
+				ce := vm.EPT.Lookup(pages[i].gpfn)
+				if ce == nil || !fastHost.Contains(hostFrameOf(ce)) {
+					continue
+				}
+				if cost, ok := vm.HostMigrate(pages[i].gpfn, slowHost.ID); ok {
+					migrateCost += cost
+					p.stats.Demoted++
+					demoted = true
+				}
+				pages = pages[:i]
+				break
+			}
+			if !demoted {
+				break
+			}
+		}
+		if cost, ok := vm.HostMigrate(ps.gpfn, fastHost.ID); ok {
+			migrateCost += cost
+			p.stats.Promoted++
+			moved++
+		} else {
+			p.stats.FailedPromotions++
+		}
+	}
+	vm.ChargeHost(CompMigrate, migrateCost)
+}

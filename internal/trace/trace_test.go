@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"demeter/internal/core"
+	"demeter/internal/engine"
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/sim"
+	"demeter/internal/workload"
+)
+
+// fakeAS mimics the guest process layout deterministically.
+type fakeAS struct {
+	brk, mmapNext uint64
+}
+
+func newFakeAS() *fakeAS {
+	return &fakeAS{brk: 0x5555_0000_0000, mmapNext: 0x7ffe_0000_0000}
+}
+
+func (f *fakeAS) Brk(b uint64) uint64 {
+	s := f.brk
+	f.brk += (b + 4095) &^ 4095
+	return s
+}
+
+func (f *fakeAS) Mmap(b uint64) uint64 {
+	size := (b + (2<<20 - 1)) &^ uint64(2<<20-1)
+	f.mmapNext -= size
+	return f.mmapNext
+}
+
+func drainAll(t *testing.T, w workload.Workload) []workload.Access {
+	t.Helper()
+	var all []workload.Access
+	buf := make([]workload.Access, 1000)
+	for i := 0; ; i++ {
+		if i > 1_000_000 {
+			t.Fatal("non-terminating workload")
+		}
+		n, done := w.Fill(buf)
+		all = append(all, buf[:n]...)
+		if done {
+			return all
+		}
+	}
+}
+
+func TestRoundTripExact(t *testing.T) {
+	// Record one GUPS instance, drain an identical one, compare streams.
+	var buf bytes.Buffer
+	count, err := Record(&buf, workload.NewGUPS(512, 20_000, 3), newFakeAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := workload.NewGUPS(512, 20_000, 3)
+	ref.Setup(newFakeAS())
+	want := drainAll(t, ref)
+	if count != uint64(len(want)) {
+		t.Fatalf("recorded %d, reference %d", count, len(want))
+	}
+
+	rp, err := NewReplayer("gups-replay", &buf, count, ref.InitOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Setup(newFakeAS())
+	got := drainAll(t, rp)
+	if rp.Err() != nil {
+		t.Fatal(rp.Err())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// Replay is page-granular; compare page+write.
+		if got[i].GVA>>12 != want[i].GVA>>12 || got[i].Write != want[i].Write {
+			t.Fatalf("access %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	var buf bytes.Buffer
+	count, err := Record(&buf, workload.NewSilo(1024, 5_000, 1), newFakeAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAccess := float64(buf.Len()) / float64(count)
+	if perAccess > 4 {
+		t.Errorf("trace uses %.1f bytes/access; expected compact encoding", perAccess)
+	}
+}
+
+func TestReplayerInterfaceBookkeeping(t *testing.T) {
+	var buf bytes.Buffer
+	wl := workload.NewGUPS(256, 1000, 9)
+	count, err := Record(&buf, wl, newFakeAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer("r", &buf, count, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "r" {
+		t.Fatal("name lost")
+	}
+	if rp.InitOps() != 256 || rp.TotalOps() != count-256 {
+		t.Fatalf("ops bookkeeping: init=%d total=%d", rp.InitOps(), rp.TotalOps())
+	}
+}
+
+func TestReplayDivergentLayoutPanics(t *testing.T) {
+	var buf bytes.Buffer
+	count, _ := Record(&buf, workload.NewGUPS(256, 100, 1), newFakeAS())
+	rp, err := NewReplayer("r", &buf, count, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An address space that had a prior reservation yields different
+	// addresses; replay must refuse.
+	as := newFakeAS()
+	as.Mmap(4 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("divergent layout did not panic")
+		}
+	}()
+	rp.Setup(as)
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	if _, err := NewReplayer("x", bytes.NewReader([]byte("BOGUS")), 0, 0); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReplayer("x", bytes.NewReader(nil), 0, 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestFillBeforeSetupPanics(t *testing.T) {
+	var buf bytes.Buffer
+	count, _ := Record(&buf, workload.NewGUPS(256, 100, 1), newFakeAS())
+	rp, _ := NewReplayer("r", &buf, count, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fill before Setup did not panic")
+		}
+	}()
+	rp.Fill(make([]workload.Access, 8))
+}
+
+// The headline property: a replayed trace behaves identically to the live
+// workload inside the full simulator, including under TMM.
+func TestReplayMatchesLiveRunExactly(t *testing.T) {
+	runOnce := func(wl workload.Workload) sim.Duration {
+		eng := sim.NewEngine()
+		m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(256, 2048))
+		vm, err := m.NewVM(hypervisor.VMConfig{
+			VCPUs: 4, GuestFMEM: 256, GuestSMEM: 2048,
+			FMEMBacking: 0, SMEMBacking: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := engine.NewExecutor(eng, vm, wl)
+		cfg := core.DefaultConfig()
+		cfg.EpochPeriod = 2 * sim.Millisecond
+		cfg.SamplePeriod = 17
+		cfg.Params.GranularityPages = 16
+		d := core.New(cfg)
+		d.Attach(eng, vm)
+		defer d.Detach()
+		if !engine.RunAll(eng, 100*sim.Second, x) {
+			t.Fatal("did not finish")
+		}
+		return x.Runtime()
+	}
+
+	live := runOnce(workload.NewGUPS(1024, 100_000, 5))
+
+	var buf bytes.Buffer
+	orig := workload.NewGUPS(1024, 100_000, 5)
+	count, err := Record(&buf, orig, newFakeAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer("gups", &buf, count, orig.InitOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := runOnce(rp)
+	if rp.Err() != nil {
+		t.Fatal(rp.Err())
+	}
+	if live != replayed {
+		t.Fatalf("replay runtime %v differs from live %v", replayed, live)
+	}
+}

@@ -1,0 +1,131 @@
+// Package virtio models the paravirtual transport the Demeter balloon is
+// built on (§3.3 "Efficiency Through Full Asynchrony"): a descriptor queue
+// between an initiator and a responder, with asynchronous notification in
+// both directions. In the real system the hypervisor posts requests to a
+// VirtIO queue (raising an interrupt in the guest), the guest driver
+// executes them on a kernel workqueue, and completions flow back through
+// the queue where the hypervisor observes them via epoll() on an eventfd.
+// The model keeps that structure — submissions and completions are
+// simulator events separated by notification latencies — so that balloon
+// operations are genuinely non-blocking for both sides.
+package virtio
+
+import (
+	"fmt"
+
+	"demeter/internal/sim"
+)
+
+// Request is one descriptor chain in flight.
+type Request struct {
+	// Kind tags the operation (device-specific).
+	Kind int
+	// Payload carries the operation body (device-specific).
+	Payload interface{}
+	// Response is filled by the responder before Complete.
+	Response interface{}
+	// OnComplete runs on the initiator side after the completion
+	// notification is delivered.
+	OnComplete func(*Request)
+
+	completed bool
+}
+
+// Stats counts queue activity.
+type Stats struct {
+	Submitted uint64
+	Completed uint64
+	Kicks     uint64 // initiator→responder notifications
+	IRQs      uint64 // responder→initiator notifications
+	Rejected  uint64 // submissions dropped on a full ring
+}
+
+// Queue is a single virtqueue. Handler runs on the responder side for each
+// delivered request; it may complete the request synchronously or hold it
+// and call Complete later (fully asynchronous responder).
+type Queue struct {
+	eng  *sim.Engine
+	name string
+	size int
+
+	// KickLatency is the initiator→responder notification delay (VM exit
+	// or eventfd wakeup + scheduling).
+	KickLatency sim.Duration
+	// IRQLatency is the completion notification delay (interrupt
+	// injection or epoll wakeup).
+	IRQLatency sim.Duration
+
+	handler  func(*Request)
+	inflight int
+	stats    Stats
+}
+
+// Defaults roughly model an eventfd wakeup and an interrupt injection.
+const (
+	DefaultKickLatency = 4 * sim.Microsecond
+	DefaultIRQLatency  = 4 * sim.Microsecond
+)
+
+// NewQueue creates a queue with the given descriptor ring size. The
+// responder's handler must be installed with SetHandler before the first
+// Submit.
+func NewQueue(eng *sim.Engine, name string, size int) *Queue {
+	if size <= 0 {
+		panic("virtio: queue size must be positive")
+	}
+	return &Queue{
+		eng:         eng,
+		name:        name,
+		size:        size,
+		KickLatency: DefaultKickLatency,
+		IRQLatency:  DefaultIRQLatency,
+	}
+}
+
+// SetHandler installs the responder-side consumer.
+func (q *Queue) SetHandler(fn func(*Request)) { q.handler = fn }
+
+// Name returns the queue's label.
+func (q *Queue) Name() string { return q.name }
+
+// Stats returns a copy of the counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Inflight returns the number of submitted-but-not-completed requests.
+func (q *Queue) Inflight() int { return q.inflight }
+
+// Submit posts a request. It returns false (and drops the request) when
+// the descriptor ring is full — the initiator is expected to retry after
+// completions free descriptors, exactly like a real driver.
+func (q *Queue) Submit(req *Request) bool {
+	if q.handler == nil {
+		panic(fmt.Sprintf("virtio: queue %q has no responder handler", q.name))
+	}
+	if q.inflight >= q.size {
+		q.stats.Rejected++
+		return false
+	}
+	q.inflight++
+	q.stats.Submitted++
+	q.stats.Kicks++
+	q.eng.After(q.KickLatency, func() { q.handler(req) })
+	return true
+}
+
+// Complete finishes a request from the responder side; the initiator's
+// OnComplete callback runs after the IRQ latency. Completing a request
+// twice panics — it would corrupt descriptor accounting.
+func (q *Queue) Complete(req *Request) {
+	if req.completed {
+		panic(fmt.Sprintf("virtio: double completion on queue %q", q.name))
+	}
+	req.completed = true
+	q.eng.After(q.IRQLatency, func() {
+		q.inflight--
+		q.stats.Completed++
+		q.stats.IRQs++
+		if req.OnComplete != nil {
+			req.OnComplete(req)
+		}
+	})
+}
