@@ -8,6 +8,7 @@
 //	demeter-sim all                  # run everything
 //	demeter-sim -scale tiny figure2  # quick smoke run
 //	demeter-sim -tier cxl figure10   # override the slow tier where applicable
+//	demeter-sim -scale tiny chaos    # fault-injection run with invariant checks
 package main
 
 import (
@@ -17,11 +18,14 @@ import (
 	"time"
 
 	"demeter/internal/experiments"
+	"demeter/internal/fault"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or tiny")
 	vms := flag.Int("vms", 0, "override concurrent VM count (0 = scale default)")
+	faults := flag.String("faults", "", "chaos fault schedule, e.g. 'migrate.copy-fail=0.05,balloon.op-timeout=0.2' (empty = every point at its default rate)")
+	faultSeed := flag.Uint64("fault-seed", 1, "chaos fault injector seed (same seed + schedule = identical run)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -48,6 +52,9 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("%-22s %s\n", "chaos", "Fault-injection ladder with end-of-run invariant checks")
+	case "chaos":
+		runChaos(scale, *faults, *faultSeed)
 	case "all":
 		for _, e := range experiments.All() {
 			runOne(e, scale)
@@ -68,6 +75,31 @@ func runOne(e experiments.Experiment, s experiments.Scale) {
 	start := time.Now()
 	fmt.Println(e.Run(s))
 	fmt.Printf("(completed in %.1fs)\n\n", time.Since(start).Seconds())
+}
+
+// runChaos runs the fault-injection ladder and exits nonzero when an
+// invariant was violated.
+func runChaos(s experiments.Scale, spec string, seed uint64) {
+	cfg := experiments.DefaultChaosConfig()
+	cfg.Seed = seed
+	if spec != "" {
+		sched, err := fault.ParseSchedule(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Schedule = sched
+	}
+	fmt.Printf("=== chaos: fault-injection ladder\n")
+	fmt.Printf("    scale: %s, VMs: %d, seed: %d\n\n", s.Name, s.VMs, seed)
+	start := time.Now()
+	report, err := experiments.RunChaos(s, cfg)
+	fmt.Println(report)
+	fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
 }
 
 func usage() {

@@ -96,7 +96,10 @@ func main() {
 	cfg.SamplingInterval = 100 * sim.Microsecond
 	cfg.AggregationInterval = 10 * sim.Millisecond
 	cfg.MaxRegions = 120
-	prof := damon.NewProfiler(cfg)
+	prof, err := damon.NewProfiler(cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	// Render over the whole tracked span (heap weights + mmap features).
 	heapLo, _ := vm.Proc.HeapRange()

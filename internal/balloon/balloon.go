@@ -26,17 +26,33 @@ package balloon
 import (
 	"fmt"
 
+	"demeter/internal/fault"
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
 	"demeter/internal/sim"
 	"demeter/internal/virtio"
 )
 
+// FaultOpTimeout stalls the guest driver's workqueue (direct reclaim,
+// lock contention) so the operation finishes long after its deadline. The
+// hypervisor-side watchdog must time out, poll, and in the worst case
+// abort the wait — a stalled guest must never wedge QoS rebalancing.
+var FaultOpTimeout = fault.Register("balloon.op-timeout", "balloon",
+	"guest balloon op stalls magnitude × deadline past its budget", 0.1, 4)
+
 // CompBalloon is the ledger component for balloon driver work.
 const CompBalloon = "balloon"
 
 // perPageCost is the guest driver's cost to reserve or restore one page.
 const perPageCost = 150 * sim.Nanosecond
+
+// Watchdog defaults: how long the hypervisor waits for a balloon request
+// beyond the transport and work costs, and how many timeout/poll rounds
+// it tolerates before abandoning the wait.
+const (
+	DefaultRequestTimeout = 300 * sim.Microsecond
+	DefaultMaxRetries     = 6
+)
 
 // request kinds on the balloon queue.
 const (
@@ -62,17 +78,40 @@ type Balloon struct {
 	queue *virtio.Queue
 	held  []mem.Frame
 
+	// RequestTimeout is the watchdog budget per request beyond transport
+	// and per-page work; MaxRetries bounds timeout/poll rounds (and
+	// ring-full resubmissions) before the wait is abandoned.
+	RequestTimeout sim.Duration
+	MaxRetries     int
+
+	// pending tracks submitted requests so Quiesce can reap completions
+	// whose IRQ was lost or whose wait was abandoned.
+	pending []*virtio.Request
+
 	// Inflations/Deflations count completed page movements.
 	Inflations, Deflations uint64
 	// Shortfall counts pages requested for inflation that the guest
 	// could not free.
 	Shortfall uint64
+	// Timeouts counts watchdog expiries; Recovered counts completions
+	// reaped by a timeout-driven poll after a lost IRQ; Aborts counts
+	// waits abandoned after MaxRetries; Resubmits counts ring-full
+	// retries.
+	Timeouts, Recovered, Aborts, Resubmits uint64
 }
 
-// attach wires a balloon to a VM.
+// attach wires a balloon to a VM. The machine's fault injector (if any)
+// is inherited by the transport and the driver model.
 func attach(eng *sim.Engine, vm *hypervisor.VM, node int, name string) *Balloon {
-	b := &Balloon{eng: eng, vm: vm, node: node}
+	b := &Balloon{
+		eng:            eng,
+		vm:             vm,
+		node:           node,
+		RequestTimeout: DefaultRequestTimeout,
+		MaxRetries:     DefaultMaxRetries,
+	}
 	b.queue = virtio.NewQueue(eng, name, 64)
+	b.queue.Fault = vm.Machine.Fault
 	b.queue.SetHandler(b.guestHandle)
 	return b
 }
@@ -92,7 +131,14 @@ func (b *Balloon) guestHandle(req *virtio.Request) {
 	body := req.Payload.(resizeBody)
 	work := sim.Duration(body.count) * perPageCost
 	b.vm.ChargeGuest(CompBalloon, work)
-	b.eng.After(work, func() {
+	delay := work
+	if fired, magn := b.vm.Machine.Fault.FireMagnitude(FaultOpTimeout); fired {
+		// Workqueue stall: the op completes eventually, but well past the
+		// watchdog deadline. The stall is wait, not CPU — nothing extra is
+		// charged to the guest ledger.
+		delay += sim.Duration(magn * float64(b.deadline(work)))
+	}
+	b.eng.After(delay, func() {
 		switch req.Kind {
 		case opInflate:
 			var frames []mem.Frame
@@ -127,41 +173,132 @@ func (b *Balloon) guestHandle(req *virtio.Request) {
 	})
 }
 
+// deadline is the watchdog budget for one request: configured timeout
+// plus a round trip of notifications plus generous headroom on the
+// per-page work.
+func (b *Balloon) deadline(work sim.Duration) sim.Duration {
+	return b.RequestTimeout + 2*(b.queue.KickLatency+b.queue.IRQLatency) + 4*work
+}
+
+// post submits req with bounded ring-full resubmission, then starts the
+// completion watchdog. abort runs if the wait is ultimately abandoned —
+// it must leave the caller in a sane (if degraded) state.
+func (b *Balloon) post(req *virtio.Request, work sim.Duration, attempt int, abort func()) {
+	if b.queue.Submit(req) {
+		b.pending = append(b.pending, req)
+		b.watch(req, b.deadline(work), 0, abort)
+		return
+	}
+	if attempt >= b.MaxRetries {
+		b.Aborts++
+		if abort != nil {
+			abort()
+		}
+		return
+	}
+	b.Resubmits++
+	back := sim.Backoff{Base: b.queue.KickLatency, Max: 64 * b.queue.KickLatency}
+	b.eng.After(back.Delay(attempt), func() { b.post(req, work, attempt+1, abort) })
+}
+
+// watch is the completion watchdog: at each (exponentially backed off)
+// deadline it polls the queue — reaping the request if its IRQ was lost —
+// and after MaxRetries rounds it gives up and aborts the wait. The
+// request itself stays reapable by a later poll or Quiesce, so no state
+// is lost even on abort.
+func (b *Balloon) watch(req *virtio.Request, deadline sim.Duration, attempt int, abort func()) {
+	back := sim.Backoff{Base: deadline, Max: 16 * deadline}
+	b.eng.After(back.Delay(attempt), func() {
+		recoveredBefore := b.queue.Stats().PollRecovered
+		if b.queue.Poll(req) {
+			if b.queue.Stats().PollRecovered > recoveredBefore {
+				b.Recovered++
+			}
+			return
+		}
+		b.Timeouts++
+		if attempt >= b.MaxRetries {
+			b.Aborts++
+			if abort != nil {
+				abort()
+			}
+			return
+		}
+		b.watch(req, deadline, attempt+1, abort)
+	})
+}
+
+// Quiesce polls every tracked request, reaping completions the initiator
+// never consumed (lost IRQs, abandoned waits), and returns how many are
+// still genuinely in flight. Experiments call it at teardown before the
+// frame-accounting audits.
+func (b *Balloon) Quiesce() int {
+	kept := b.pending[:0]
+	for _, r := range b.pending {
+		if !b.queue.Poll(r) {
+			kept = append(kept, r)
+		}
+	}
+	b.pending = kept
+	return len(b.pending)
+}
+
+// QueueStats exposes the transport counters (tests and chaos reports).
+func (b *Balloon) QueueStats() virtio.Stats { return b.queue.Stats() }
+
+// Inflight returns the balloon virtqueue's outstanding request count.
+func (b *Balloon) Inflight() int { return b.queue.Inflight() }
+
 // Inflate asks the guest to move count pages into the balloon; when the
 // completion interrupt arrives the hypervisor reclaims their backing and
-// calls onDone with the number of pages actually freed.
+// calls onDone with the number of pages actually freed. onDone fires
+// exactly once even if the wait times out before the guest finishes — in
+// that case with freed=0, and the host reclaims the backing whenever the
+// late completion is finally reaped.
 func (b *Balloon) Inflate(count uint64, onDone func(freed uint64)) {
+	done := false
+	fire := func(freed uint64) {
+		if done {
+			return
+		}
+		done = true
+		if onDone != nil {
+			onDone(freed)
+		}
+	}
 	req := &virtio.Request{
 		Kind:    opInflate,
 		Payload: resizeBody{node: b.node, count: count},
 		OnComplete: func(r *virtio.Request) {
+			// Reclaim runs even after an aborted wait: page accounting
+			// must hold no matter how late the guest answers.
 			frames := r.Response.(resizeReply).frames
 			b.vm.ReleaseGuestFrames(frames)
-			if onDone != nil {
-				onDone(uint64(len(frames)))
-			}
+			fire(uint64(len(frames)))
 		},
 	}
-	if !b.queue.Submit(req) {
-		// Ring full: retry after the queue drains a bit.
-		b.eng.After(virtio.DefaultKickLatency, func() { b.Inflate(count, onDone) })
-	}
+	b.post(req, sim.Duration(count)*perPageCost, 0, func() { fire(0) })
 }
 
 // Deflate returns count pages from the balloon to the guest allocator.
+// Like Inflate, onDone fires exactly once, worst case on watchdog abort.
 func (b *Balloon) Deflate(count uint64, onDone func()) {
+	done := false
+	fire := func() {
+		if done {
+			return
+		}
+		done = true
+		if onDone != nil {
+			onDone()
+		}
+	}
 	req := &virtio.Request{
-		Kind:    opDeflate,
-		Payload: resizeBody{node: b.node, count: count},
-		OnComplete: func(*virtio.Request) {
-			if onDone != nil {
-				onDone()
-			}
-		},
+		Kind:       opDeflate,
+		Payload:    resizeBody{node: b.node, count: count},
+		OnComplete: func(*virtio.Request) { fire() },
 	}
-	if !b.queue.Submit(req) {
-		b.eng.After(virtio.DefaultKickLatency, func() { b.Deflate(count, onDone) })
-	}
+	b.post(req, sim.Duration(count)*perPageCost, 0, fire)
 }
 
 // MemStats is the guest telemetry published on the statistics queue
@@ -181,14 +318,15 @@ type MemStats struct {
 type Double struct {
 	FMEM, SMEM *Balloon
 
-	vm        *hypervisor.VM
-	eng       *sim.Engine
-	statsQ    *virtio.Queue
-	latest    MemStats
-	hasStats  bool
-	publisher *sim.Ticker
-	lastFast  uint64
-	lastSlow  uint64
+	vm           *hypervisor.VM
+	eng          *sim.Engine
+	statsQ       *virtio.Queue
+	statsPending []*virtio.Request
+	latest       MemStats
+	hasStats     bool
+	publisher    *sim.Ticker
+	lastFast     uint64
+	lastSlow     uint64
 }
 
 // NewDouble attaches the double balloon to a VM.
@@ -200,6 +338,7 @@ func NewDouble(eng *sim.Engine, vm *hypervisor.VM) *Double {
 		eng:  eng,
 	}
 	d.statsQ = virtio.NewQueue(eng, fmt.Sprintf("vm%d-demeter-stats", vm.ID), 16)
+	d.statsQ.Fault = vm.Machine.Fault
 	// The host is the responder on the stats queue: it files the report.
 	d.statsQ.SetHandler(func(req *virtio.Request) {
 		d.latest = req.Payload.(MemStats)
@@ -224,14 +363,20 @@ func (d *Double) StartStats(period sim.Duration) {
 		}
 		freeF, freeS := d.vm.GuestFreeFrames()
 		d.vm.ChargeGuest(CompBalloon, 500) // stat collection cost
-		d.statsQ.Submit(&virtio.Request{Payload: MemStats{
+		// Reap reports whose completion IRQ was dropped before posting a
+		// new one, so lost interrupts can never clog the small stats ring.
+		d.reapStats()
+		req := &virtio.Request{Payload: MemStats{
 			FreeFMEM:    freeF,
 			FreeSMEM:    freeS,
 			BalloonFMEM: d.FMEM.Held(),
 			BalloonSMEM: d.SMEM.Held(),
 			SlowShare:   slowShare,
 			When:        now,
-		}})
+		}}
+		if d.statsQ.Submit(req) {
+			d.statsPending = append(d.statsPending, req)
+		}
 	})
 }
 
@@ -246,34 +391,84 @@ func (d *Double) StopStats() {
 // LatestStats returns the most recent guest report.
 func (d *Double) LatestStats() (MemStats, bool) { return d.latest, d.hasStats }
 
+// reapStats polls outstanding stats reports, pruning consumed ones.
+func (d *Double) reapStats() int {
+	kept := d.statsPending[:0]
+	for _, r := range d.statsPending {
+		if !d.statsQ.Poll(r) {
+			kept = append(kept, r)
+		}
+	}
+	d.statsPending = kept
+	return len(d.statsPending)
+}
+
+// Quiesce reaps lost completions on all three queues (both balloons and
+// the stats queue) and returns the number of requests still genuinely in
+// flight. Call at teardown before frame-accounting audits.
+func (d *Double) Quiesce() int {
+	return d.FMEM.Quiesce() + d.SMEM.Quiesce() + d.reapStats()
+}
+
+// Inflight returns outstanding requests across both balloons and the
+// statistics queue.
+func (d *Double) Inflight() int {
+	return d.FMEM.Inflight() + d.SMEM.Inflight() + d.statsQ.Inflight()
+}
+
+// StatsQueueStats exposes the statistics virtqueue's transport counters.
+func (d *Double) StatsQueueStats() virtio.Stats { return d.statsQ.Stats() }
+
 // SetProvision resizes both balloons so the guest's usable memory is
 // exactly (fmemFrames, smemFrames). Each guest node's capacity is the
 // maximum; the balloons hold the rest. onDone fires when both balloons
-// have settled.
+// have settled (or their watchdogs gave up — it always fires).
+//
+// Deflations run before inflations: when a rebalance both grows one tier
+// and shrinks the other, the guest receives memory before any is taken
+// away, so a guest under pressure is never squeezed while it waits.
 func (d *Double) SetProvision(fmemFrames, smemFrames uint64, onDone func()) {
-	pending := 2
-	settle := func() {
-		pending--
-		if pending == 0 && onDone != nil {
+	var deflates, inflates []func(done func())
+	plan := func(b *Balloon, provision uint64) {
+		capacity := d.vm.Kernel.Topo.Nodes[b.node].Frames()
+		if provision > capacity {
+			panic(fmt.Sprintf("balloon: provision %d exceeds node capacity %d", provision, capacity))
+		}
+		targetHeld := capacity - provision
+		switch held := b.Held(); {
+		case targetHeld < held:
+			n := held - targetHeld
+			deflates = append(deflates, func(done func()) { b.Deflate(n, done) })
+		case targetHeld > held:
+			n := targetHeld - held
+			inflates = append(inflates, func(done func()) { b.Inflate(n, func(uint64) { done() }) })
+		}
+	}
+	plan(d.FMEM, fmemFrames)
+	plan(d.SMEM, smemFrames)
+
+	finish := func() {
+		if onDone != nil {
 			onDone()
 		}
 	}
-	d.resizeNode(d.FMEM, fmemFrames, settle)
-	d.resizeNode(d.SMEM, smemFrames, settle)
-}
-
-func (d *Double) resizeNode(b *Balloon, provision uint64, onDone func()) {
-	capacity := d.vm.Kernel.Topo.Nodes[b.node].Frames()
-	if provision > capacity {
-		panic(fmt.Sprintf("balloon: provision %d exceeds node capacity %d", provision, capacity))
+	if len(deflates) == 0 && len(inflates) == 0 {
+		d.eng.After(0, finish)
+		return
 	}
-	targetHeld := capacity - provision
-	switch held := b.Held(); {
-	case targetHeld > held:
-		b.Inflate(targetHeld-held, func(uint64) { onDone() })
-	case targetHeld < held:
-		b.Deflate(held-targetHeld, onDone)
-	default:
-		d.eng.After(0, onDone)
+	runPhase := func(jobs []func(done func()), then func()) {
+		if len(jobs) == 0 {
+			then()
+			return
+		}
+		pending := len(jobs)
+		for _, j := range jobs {
+			j(func() {
+				if pending--; pending == 0 {
+					then()
+				}
+			})
+		}
 	}
+	runPhase(deflates, func() { runPhase(inflates, finish) })
 }

@@ -1,0 +1,129 @@
+package balloon
+
+import (
+	"testing"
+
+	"demeter/internal/fault"
+	"demeter/internal/hypervisor"
+	"demeter/internal/sim"
+	"demeter/internal/virtio"
+)
+
+// chaosRig is rig plus a fault injector wired to the machine before the
+// balloon attaches, so the balloon queues inherit it.
+func chaosRig(t *testing.T, vmFrames uint64, arm func(*fault.Injector)) (*sim.Engine, *hypervisor.VM, *Double) {
+	t.Helper()
+	eng, vm := rig(t, vmFrames)
+	inj := fault.NewInjector(1)
+	arm(inj)
+	vm.Machine.Fault = inj
+	return eng, vm, NewDouble(eng, vm)
+}
+
+func TestBalloonTimeoutStillConverges(t *testing.T) {
+	eng, vm, d := chaosRig(t, 6000, func(in *fault.Injector) {
+		// Every op stalls far past the watchdog deadline; retries plus
+		// timeout-driven polls must still land the provision.
+		in.ArmMagnitude(FaultOpTimeout, 1, 4)
+	})
+	done := false
+	d.SetProvision(2000, 4000, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("SetProvision callback never fired under op timeouts")
+	}
+	d.Quiesce()
+	if got := d.FMEM.Held(); got != 4000 {
+		t.Fatalf("FMEM balloon holds %d, want 4000", got)
+	}
+	if got := d.SMEM.Held(); got != 2000 {
+		t.Fatalf("SMEM balloon holds %d, want 2000", got)
+	}
+	if d.FMEM.Timeouts+d.SMEM.Timeouts == 0 {
+		t.Fatal("watchdog never fired despite universal stalls")
+	}
+	// Accounting must agree between balloon and guest.
+	if d.FMEM.Held() != vm.Kernel.BalloonedOn(0) {
+		t.Fatal("FMEM balloon and guest disagree on held pages")
+	}
+	if d.SMEM.Held() != vm.Kernel.BalloonedOn(1) {
+		t.Fatal("SMEM balloon and guest disagree on held pages")
+	}
+	if d.Inflight() != 0 {
+		t.Fatalf("inflight = %d after quiesce", d.Inflight())
+	}
+}
+
+func TestBalloonRecoversDroppedIRQ(t *testing.T) {
+	eng, vm, d := chaosRig(t, 6000, func(in *fault.Injector) {
+		in.Arm(virtio.FaultCompletionDrop, 1)
+	})
+	done := false
+	d.SetProvision(3000, 6000, func() { done = true })
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("provision never settled: lost completions not recovered")
+	}
+	d.Quiesce()
+	if got := d.FMEM.Held(); got != 3000 {
+		t.Fatalf("FMEM balloon holds %d, want 3000", got)
+	}
+	if d.FMEM.Recovered+d.SMEM.Recovered == 0 {
+		t.Fatal("no poll recoveries despite every IRQ dropped")
+	}
+	if d.FMEM.Held() != vm.Kernel.BalloonedOn(0) {
+		t.Fatal("accounting diverged after IRQ loss")
+	}
+	if d.Inflight() != 0 {
+		t.Fatalf("inflight = %d", d.Inflight())
+	}
+}
+
+func TestRebalancerSurvivesStalledGuest(t *testing.T) {
+	// A rebalance whose shrinks stall must still issue the grows: the
+	// watchdog guarantees shrink callbacks fire even when ops time out.
+	eng, vmA := rig(t, 6000)
+	inj := fault.NewInjector(3)
+	inj.ArmMagnitude(FaultOpTimeout, 1, 4)
+	vmA.Machine.Fault = inj
+	vmB, err := vmA.Machine.NewVM(hypervisor.VMConfig{
+		VCPUs: 4, GuestFMEM: 6000, GuestSMEM: 6000,
+		FMEMBacking: 0, SMEMBacking: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dA, dB := NewDouble(eng, vmA), NewDouble(eng, vmB)
+	dA.SetProvision(2000, 4000, nil)
+	dB.SetProvision(2000, 4000, nil)
+	eng.RunUntilIdle()
+	dA.StartStats(2 * sim.Millisecond)
+	dB.StartStats(2 * sim.Millisecond)
+
+	reb := NewRebalancer(eng, []*Double{dA, dB}, []float64{2, 1})
+	reb.Budget = 4000
+	reb.MinPerVM = 500
+	reb.SMEMPerVM = 4000
+	reb.Start(8 * sim.Millisecond)
+	eng.Run(64 * sim.Millisecond)
+	reb.Stop()
+	dA.StopStats()
+	dB.StopStats()
+	eng.RunUntilIdle()
+	dA.Quiesce()
+	dB.Quiesce()
+
+	if reb.Rebalances == 0 {
+		t.Fatal("rebalancer never ran")
+	}
+	// The FMEM pool must not be overcommitted: the sum of provisions
+	// never exceeds the budget.
+	provA := vmA.Kernel.Topo.Nodes[0].Frames() - dA.FMEM.Held()
+	provB := vmB.Kernel.Topo.Nodes[0].Frames() - dB.FMEM.Held()
+	if provA+provB > reb.Budget {
+		t.Fatalf("FMEM overcommitted: %d + %d > %d", provA, provB, reb.Budget)
+	}
+	if dA.Inflight()+dB.Inflight() != 0 {
+		t.Fatal("requests wedged in flight after quiesce")
+	}
+}

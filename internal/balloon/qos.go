@@ -96,22 +96,35 @@ func (r *Rebalancer) rebalance() {
 	shares := r.computeShares()
 	r.applied = append(r.applied[:0], shares...)
 	// Shrink first, then grow, so the host FMEM pool never overcommits:
-	// deflations (grants) are issued only after inflations complete.
-	var grows []int
-	pending := 0
+	// grants are issued only after every shrink has settled. The balloon
+	// watchdog guarantees shrink callbacks fire even when a guest stalls,
+	// so one wedged VM can never block the others' grants forever.
+	var shrinks, grows []int
 	for i, d := range r.vms {
 		current := d.vm.Kernel.Topo.Nodes[0].Frames() - d.FMEM.Held()
 		switch {
 		case shares[i] < current:
-			pending++
-			d.SetProvision(shares[i], r.SMEMPerVM, func() { pending-- })
+			shrinks = append(shrinks, i)
 		case shares[i] > current:
 			grows = append(grows, i)
 		}
 	}
-	for _, i := range grows {
-		d := r.vms[i]
-		d.SetProvision(shares[i], r.SMEMPerVM, nil)
+	issueGrows := func() {
+		for _, i := range grows {
+			r.vms[i].SetProvision(shares[i], r.SMEMPerVM, nil)
+		}
+	}
+	if len(shrinks) == 0 {
+		issueGrows()
+	} else {
+		pending := len(shrinks)
+		for _, i := range shrinks {
+			r.vms[i].SetProvision(shares[i], r.SMEMPerVM, func() {
+				if pending--; pending == 0 {
+					issueGrows()
+				}
+			})
+		}
 	}
 	r.Rebalances++
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"demeter/internal/hypervisor"
@@ -61,6 +62,21 @@ type Config struct {
 	// Each demotion under memory pressure also pays a direct-reclaim
 	// penalty, the cascading cost balanced swapping avoids.
 	SequentialRelocation bool
+	// AdaptiveSampling lets the PEBS unit widen its sample period under
+	// sustained PMI storms and narrow it back when calm (graceful
+	// degradation instead of an interrupt livelock).
+	AdaptiveSampling bool
+	// MaxPageRetries caps how often one page is requeued after a
+	// transient migration failure before it is abandoned (the classifier
+	// will rediscover it if it stays hot).
+	MaxPageRetries int
+	// RangeRetryBudget caps total retries charged against one range per
+	// its lifetime in the retry queue; a range whose pages keep failing
+	// is backed off wholesale.
+	RangeRetryBudget int
+	// RetryBackoffCap bounds the exponential epoch backoff between
+	// retries of the same page (in epochs).
+	RetryBackoffCap int
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -77,6 +93,10 @@ func DefaultConfig() Config {
 		HysteresisRatio:      1.5,
 		DrainAtContextSwitch: true,
 		PollPeriod:           sim.Millisecond,
+		AdaptiveSampling:     true,
+		MaxPageRetries:       4,
+		RangeRetryBudget:     64,
+		RetryBackoffCap:      8,
 	}
 }
 
@@ -88,6 +108,12 @@ type Stats struct {
 	Epochs       uint64
 	SwapPairs    uint64
 	FreePromotes uint64 // promotions into free FMEM (no demotion needed)
+
+	Busy      uint64 // relocations refused (page pinned/busy)
+	Rollbacks uint64 // relocations rolled back on copy fault
+	Retries   uint64 // retry attempts dequeued from the retry queue
+	RetriedOK uint64 // retries that eventually promoted
+	Abandoned uint64 // candidates dropped after exhausting retry budgets
 }
 
 // Demeter is the guest-delegated TMM policy. One instance manages one VM.
@@ -103,6 +129,23 @@ type Demeter struct {
 	poll   *sim.Ticker
 	active bool
 	stats  Stats
+
+	// retryQ holds pages whose relocation failed transiently (busy page,
+	// copy fault, exhausted target pool); each entry carries a capped
+	// exponential epoch backoff so a persistently failing page does not
+	// hog every epoch's migration budget.
+	retryQ []retryEntry
+	// rangeRetries charges retries against the candidate's range; a
+	// range over budget has its pages abandoned instead of requeued. The
+	// counters decay by half each epoch.
+	rangeRetries map[uint64]int
+}
+
+type retryEntry struct {
+	gvpn       uint64
+	rangeStart uint64
+	attempts   int
+	dueEpoch   uint64
 }
 
 // New returns a detached Demeter policy.
@@ -131,10 +174,12 @@ func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 	pcfg.SamplePeriod = d.Cfg.SamplePeriod
 	pcfg.LatencyThreshold = d.Cfg.LatencyThreshold
 	pcfg.Event = d.Cfg.Event
+	pcfg.AdaptivePeriod = d.Cfg.AdaptiveSampling
 	unit, err := pebs.NewUnit(pcfg)
 	if err != nil {
 		panic(fmt.Sprintf("core: bad PEBS config: %v", err))
 	}
+	unit.Fault = vm.Machine.Fault
 	d.unit = unit
 	vm.PEBS = unit
 	if err := unit.Arm(); err != nil {
@@ -143,6 +188,7 @@ func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 
 	d.ch = NewSampleChannel(d.Cfg.ChannelCapacity)
 	d.tree = NewRangeTree(d.Cfg.Params, d.trackedRegions()...)
+	d.rangeRetries = make(map[uint64]int)
 
 	// Buffer overshoots raise PMIs whose handler drains immediately; the
 	// fixed low sample frequency keeps these rare (§3.2.2).
@@ -228,7 +274,78 @@ func (d *Demeter) epoch() {
 	// Tree maintenance is proportional to the (small) leaf count.
 	d.vm.ChargeGuest(CompClassify, sim.Duration(d.tree.Leaves())*cm.PTEOpCost)
 	d.stats.Epochs++
+	// Range retry budgets decay so a once-troubled range earns back
+	// headroom instead of being barred forever.
+	for rs, n := range d.rangeRetries {
+		if n /= 2; n == 0 {
+			delete(d.rangeRetries, rs)
+		} else {
+			d.rangeRetries[rs] = n
+		}
+	}
+	d.processRetries()
 	d.relocate()
+}
+
+// requeue schedules a transiently failed candidate for a later epoch with
+// capped exponential backoff, or abandons it when either the page or its
+// range has exhausted its retry budget.
+func (d *Demeter) requeue(gvpn, rangeStart uint64, attempts int) {
+	if attempts >= d.Cfg.MaxPageRetries || d.rangeRetries[rangeStart] >= d.Cfg.RangeRetryBudget {
+		d.stats.Abandoned++
+		return
+	}
+	d.rangeRetries[rangeStart]++
+	backoff := 1
+	for i := 0; i < attempts && backoff < d.Cfg.RetryBackoffCap; i++ {
+		backoff *= 2
+	}
+	if backoff > d.Cfg.RetryBackoffCap && d.Cfg.RetryBackoffCap > 0 {
+		backoff = d.Cfg.RetryBackoffCap
+	}
+	d.retryQ = append(d.retryQ, retryEntry{
+		gvpn:       gvpn,
+		rangeStart: rangeStart,
+		attempts:   attempts + 1,
+		dueEpoch:   d.stats.Epochs + uint64(backoff),
+	})
+}
+
+// processRetries re-attempts due entries from the retry queue as plain
+// promotions into FMEM. Entries not yet due stay queued; permanent
+// failures are dropped; transient ones go back with increased backoff.
+func (d *Demeter) processRetries() {
+	if len(d.retryQ) == 0 {
+		return
+	}
+	var keep []retryEntry
+	var cost sim.Duration
+	for _, e := range d.retryQ {
+		if e.dueEpoch > d.stats.Epochs {
+			keep = append(keep, e)
+			continue
+		}
+		d.stats.Retries++
+		c, err := d.vm.MigrateGuestPage(e.gvpn, 0)
+		cost += c
+		switch err {
+		case nil:
+			d.stats.Promoted++
+			d.stats.RetriedOK++
+		case hypervisor.ErrAlreadyPlaced, hypervisor.ErrNotMapped:
+			// Already fixed or gone; nothing left to do.
+		case hypervisor.ErrPageBusy:
+			d.stats.Busy++
+			d.requeue(e.gvpn, e.rangeStart, e.attempts)
+		case hypervisor.ErrCopyFault:
+			d.stats.Rollbacks++
+			d.requeue(e.gvpn, e.rangeStart, e.attempts)
+		default: // ErrNoFrame and anything equally transient
+			d.requeue(e.gvpn, e.rangeStart, e.attempts)
+		}
+	}
+	d.retryQ = keep
+	d.vm.ChargeGuest(CompMigrate, cost)
 }
 
 // fmemCapacity returns the guest FMEM frames usable by workloads (node
@@ -269,10 +386,12 @@ func (d *Demeter) relocate() {
 	var scanCost sim.Duration
 
 	// ❷ Promotion candidates: hot-range pages resident in SMEM, tagged
-	// with their range's hotness for the hysteresis check.
+	// with their range's hotness for the hysteresis check and their range
+	// start for the retry budget.
 	type cand struct {
-		gvpn uint64
-		freq float64
+		gvpn       uint64
+		freq       float64
+		rangeStart uint64
 	}
 	var proms []cand
 	for i := 0; i < f && len(proms) < d.Cfg.MigrationBatch; i++ {
@@ -282,7 +401,7 @@ func (d *Demeter) relocate() {
 		}
 		visited := gpt.ScanRange(r.StartPage, r.EndPage, func(gvpn uint64, e *pagetable.Entry) bool {
 			if kernel.NodeOfGPFN(mem.Frame(e.Value())) != 0 {
-				proms = append(proms, cand{gvpn, r.Freq})
+				proms = append(proms, cand{gvpn, r.Freq, r.StartPage})
 			}
 			return len(proms) < d.Cfg.MigrationBatch
 		})
@@ -293,19 +412,35 @@ func (d *Demeter) relocate() {
 		return
 	}
 
-	// Promotions into free FMEM need no demotion partner.
+	// Promotions into free FMEM need no demotion partner. Transient
+	// failures requeue the page for a later epoch; an exhausted pool ends
+	// the loop (the rest pair with demotions below).
 	var migrateCost sim.Duration
 	free := kernel.Topo.Nodes[0].FreeFrames()
 	idx := 0
 	for ; idx < len(proms) && free > 0; idx++ {
-		cost, ok := d.vm.MigrateGuestPage(proms[idx].gvpn, 0)
-		if !ok {
+		c := proms[idx]
+		cost, err := d.vm.MigrateGuestPage(c.gvpn, 0)
+		migrateCost += cost
+		switch err {
+		case nil:
+			free--
+			d.stats.Promoted++
+			d.stats.FreePromotes++
+		case hypervisor.ErrPageBusy:
+			d.stats.Busy++
+			d.requeue(c.gvpn, c.rangeStart, 0)
+		case hypervisor.ErrCopyFault:
+			d.stats.Rollbacks++
+			d.requeue(c.gvpn, c.rangeStart, 0)
+		case hypervisor.ErrAlreadyPlaced, hypervisor.ErrNotMapped:
+			// Stale candidate; skip silently.
+		default:
+			panic(fmt.Sprintf("core: free promotion failed: %v", err))
+		}
+		if err == hypervisor.ErrNoFrame {
 			break
 		}
-		migrateCost += cost
-		free--
-		d.stats.Promoted++
-		d.stats.FreePromotes++
 	}
 	proms = proms[idx:]
 
@@ -316,7 +451,7 @@ func (d *Demeter) relocate() {
 		r := ranked[i]
 		visited := gpt.ScanRange(r.StartPage, r.EndPage, func(gvpn uint64, e *pagetable.Entry) bool {
 			if kernel.NodeOfGPFN(mem.Frame(e.Value())) == 0 {
-				demos = append(demos, cand{gvpn, r.Freq})
+				demos = append(demos, cand{gvpn, r.Freq, r.StartPage})
 			}
 			return len(demos) < len(proms)
 		})
@@ -341,27 +476,43 @@ func (d *Demeter) relocate() {
 		if d.Cfg.SequentialRelocation {
 			// Ablation: demote into SMEM first (paying direct reclaim on
 			// the pressured fast node), then promote into the freed slot.
-			dCost, ok := d.vm.MigrateGuestPage(demos[k].gvpn, 1)
-			if !ok {
+			dCost, dErr := d.vm.MigrateGuestPage(demos[k].gvpn, 1)
+			migrateCost += dCost
+			if dErr != nil {
 				continue
 			}
-			migrateCost += dCost + cm.GuestFaultCost // reclaim penalty
-			pCost, ok := d.vm.MigrateGuestPage(proms[k].gvpn, 0)
-			if ok {
-				migrateCost += pCost
+			migrateCost += cm.GuestFaultCost // reclaim penalty
+			pCost, pErr := d.vm.MigrateGuestPage(proms[k].gvpn, 0)
+			migrateCost += pCost
+			if pErr == nil {
 				d.stats.Promoted++
 			}
 			d.stats.Demoted++
 			continue
 		}
 		cost, err := d.vm.SwapGuestPages(proms[k].gvpn, demos[k].gvpn)
-		if err != nil {
+		migrateCost += cost
+		switch err {
+		case nil:
+			d.stats.Promoted++
+			d.stats.Demoted++
+			d.stats.SwapPairs++
+		case hypervisor.ErrPageBusy:
+			// Transient: the swap refused up front. Requeue the promotion
+			// side; the demotion partner stays cold and will be rediscovered.
+			d.stats.Busy++
+			d.requeue(proms[k].gvpn, proms[k].rangeStart, 0)
+		case hypervisor.ErrCopyFault:
+			// Rolled back: both pages still hold their original frames and
+			// translations (verified by the chaos invariants). Retry later.
+			d.stats.Rollbacks++
+			d.requeue(proms[k].gvpn, proms[k].rangeStart, 0)
+		default:
+			if errors.Is(err, hypervisor.ErrNotMapped) {
+				continue // candidate unmapped since the scan; stale, skip
+			}
 			panic(fmt.Sprintf("core: balanced swap failed: %v", err))
 		}
-		migrateCost += cost
-		d.stats.Promoted++
-		d.stats.Demoted++
-		d.stats.SwapPairs++
 	}
 	d.vm.ChargeGuest(CompMigrate, scanCost+migrateCost)
 }

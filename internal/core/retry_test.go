@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"demeter/internal/engine"
+	"demeter/internal/fault"
+	"demeter/internal/hypervisor"
+	"demeter/internal/sim"
+)
+
+// chaosAttach wires an injector armed by arm into the rig's machine
+// before attaching Demeter.
+func chaosAttach(t *testing.T, arm func(*fault.Injector)) (*sim.Engine, *hypervisor.VM, *engine.Executor, *Demeter) {
+	t.Helper()
+	eng, vm, x, _ := rig(t, 512, 4096, 2048, 400_000)
+	inj := fault.NewInjector(1)
+	arm(inj)
+	vm.Machine.Fault = inj
+	d := New(testConfig())
+	d.Attach(eng, vm)
+	return eng, vm, x, d
+}
+
+func TestRelocationRetriesOnBusyPages(t *testing.T) {
+	eng, vm, x, d := chaosAttach(t, func(in *fault.Injector) {
+		in.Arm(hypervisor.FaultMigrateBusy, 0.3)
+	})
+	defer d.Detach()
+	if !engine.RunAll(eng, 200*sim.Second, x) {
+		t.Fatal("workload did not finish")
+	}
+	st := d.Stats()
+	if st.Busy == 0 {
+		t.Fatal("no busy refusals at a 30% busy rate")
+	}
+	if st.Retries == 0 {
+		t.Fatal("busy pages never retried")
+	}
+	if st.Promoted == 0 {
+		t.Fatal("faults starved relocation entirely")
+	}
+	if err := vm.AuditGuestFrames(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.AuditMappings(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelocationRollsBackOnCopyFaults(t *testing.T) {
+	eng, vm, x, d := chaosAttach(t, func(in *fault.Injector) {
+		in.Arm(hypervisor.FaultMigrateCopy, 0.2)
+	})
+	defer d.Detach()
+	if !engine.RunAll(eng, 200*sim.Second, x) {
+		t.Fatal("workload did not finish")
+	}
+	st := d.Stats()
+	if st.Rollbacks == 0 {
+		t.Fatal("no rollbacks at a 20% copy-fault rate")
+	}
+	if st.Promoted == 0 {
+		t.Fatal("faults starved relocation entirely")
+	}
+	vmStats := vm.Stats()
+	if vmStats.SwapRollbacks+vmStats.MigrateRollbacks != st.Rollbacks {
+		t.Fatalf("rollback accounting diverged: vm %d+%d vs core %d",
+			vmStats.SwapRollbacks, vmStats.MigrateRollbacks, st.Rollbacks)
+	}
+	if err := vm.AuditGuestFrames(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.AuditMappings(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryBudgetAbandonsHopelessPages(t *testing.T) {
+	// Every relocation fails forever: the retry queue must drain via
+	// its budgets rather than grow without bound.
+	eng, vm, x, d := chaosAttach(t, func(in *fault.Injector) {
+		in.Arm(hypervisor.FaultMigrateCopy, 1)
+	})
+	defer d.Detach()
+	if !engine.RunAll(eng, 200*sim.Second, x) {
+		t.Fatal("workload did not finish under total copy failure")
+	}
+	st := d.Stats()
+	if st.Promoted != 0 {
+		t.Fatalf("promoted %d pages while every copy faults", st.Promoted)
+	}
+	if st.Abandoned == 0 {
+		t.Fatal("retry budgets never abandoned a permanently failing page")
+	}
+	if st.RetriedOK != 0 {
+		t.Fatal("a retry cannot succeed when every copy faults")
+	}
+	if err := vm.AuditGuestFrames(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -100,16 +100,19 @@ type Profiler struct {
 	Samples, Flushes uint64
 }
 
-// NewProfiler returns a detached profiler.
-func NewProfiler(cfg Config) *Profiler { return &Profiler{Cfg: cfg} }
+// NewProfiler validates cfg and returns a detached profiler. Bad region
+// bounds are a caller configuration error and return an error.
+func NewProfiler(cfg Config) (*Profiler, error) {
+	if cfg.MinRegions < 1 || cfg.MaxRegions < cfg.MinRegions {
+		return nil, fmt.Errorf("damon: bad region bounds %d/%d", cfg.MinRegions, cfg.MaxRegions)
+	}
+	return &Profiler{Cfg: cfg}, nil
+}
 
 // Attach starts monitoring the VM's process VMAs.
 func (p *Profiler) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 	if p.active {
 		panic("damon: profiler attached twice")
-	}
-	if p.Cfg.MinRegions < 1 || p.Cfg.MaxRegions < p.Cfg.MinRegions {
-		panic(fmt.Sprintf("damon: bad region bounds %d/%d", p.Cfg.MinRegions, p.Cfg.MaxRegions))
 	}
 	p.eng, p.vm, p.active = eng, vm, true
 	p.rng = simrand.New(p.Cfg.Seed ^ 0x64616d6f6e)
@@ -278,9 +281,14 @@ type Policy struct {
 	Promoted, Demoted uint64
 }
 
-// NewPolicy wraps a profiler with tiering actions.
-func NewPolicy(cfg Config, hotBar uint32, batch int) *Policy {
-	return &Policy{Prof: NewProfiler(cfg), HotBar: hotBar, MigrationBatch: batch}
+// NewPolicy wraps a profiler with tiering actions. It shares NewProfiler's
+// config validation.
+func NewPolicy(cfg Config, hotBar uint32, batch int) (*Policy, error) {
+	prof, err := NewProfiler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{Prof: prof, HotBar: hotBar, MigrationBatch: batch}, nil
 }
 
 // Name implements the TMM policy interface.
@@ -323,7 +331,7 @@ func (p *Policy) apply(s Snapshot) {
 			if !ok || kernel.NodeOfGPFN(gpfn) != 0 {
 				continue
 			}
-			if c, ok := vm.MigrateGuestPage(page, 1); ok {
+			if c, err := vm.MigrateGuestPage(page, 1); err == nil {
 				cost += c
 				p.Demoted++
 				moved++
@@ -340,7 +348,7 @@ func (p *Policy) apply(s Snapshot) {
 			if !ok || kernel.NodeOfGPFN(gpfn) == 0 {
 				continue
 			}
-			if c, ok := vm.MigrateGuestPage(page, 0); ok {
+			if c, err := vm.MigrateGuestPage(page, 0); err == nil {
 				cost += c
 				p.Promoted++
 				moved++

@@ -19,6 +19,15 @@ func testCfg() Config {
 	return cfg
 }
 
+func mustProfiler(t *testing.T, cfg Config) *Profiler {
+	t.Helper()
+	p, err := NewProfiler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func rig(t *testing.T) (*sim.Engine, *hypervisor.VM, *engine.Executor, *workload.GUPS) {
 	t.Helper()
 	eng := sim.NewEngine()
@@ -37,7 +46,7 @@ func rig(t *testing.T) (*sim.Engine, *hypervisor.VM, *engine.Executor, *workload
 
 func TestProfilerRegionInvariants(t *testing.T) {
 	eng, vm, x, _ := rig(t)
-	p := NewProfiler(testCfg())
+	p := mustProfiler(t, testCfg())
 	p.Attach(eng, vm)
 	defer p.Detach()
 	x.Start()
@@ -63,7 +72,7 @@ func TestProfilerRegionInvariants(t *testing.T) {
 
 func TestProfilerFindsHotRegion(t *testing.T) {
 	eng, vm, x, wl := rig(t)
-	p := NewProfiler(testCfg())
+	p := mustProfiler(t, testCfg())
 	p.Attach(eng, vm)
 	defer p.Detach()
 	engine.RunAll(eng, 100*sim.Second, x)
@@ -91,7 +100,7 @@ func TestProfilerFindsHotRegion(t *testing.T) {
 
 func TestProfilerChargesTLBFlushes(t *testing.T) {
 	eng, vm, x, _ := rig(t)
-	p := NewProfiler(testCfg())
+	p := mustProfiler(t, testCfg())
 	p.Attach(eng, vm)
 	defer p.Detach()
 	engine.RunAll(eng, 100*sim.Second, x)
@@ -109,7 +118,10 @@ func TestProfilerChargesTLBFlushes(t *testing.T) {
 
 func TestPolicyPromotes(t *testing.T) {
 	eng, vm, x, wl := rig(t)
-	pol := NewPolicy(testCfg(), 12, 512)
+	pol, err := NewPolicy(testCfg(), 12, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pol.Attach(eng, vm)
 	defer pol.Detach()
 	if !engine.RunAll(eng, 100*sim.Second, x) {
@@ -134,7 +146,7 @@ func TestPolicyPromotes(t *testing.T) {
 
 func TestDoubleAttachPanics(t *testing.T) {
 	eng, vm, _, _ := rig(t)
-	p := NewProfiler(testCfg())
+	p := mustProfiler(t, testCfg())
 	p.Attach(eng, vm)
 	defer p.Detach()
 	defer func() {
@@ -145,16 +157,19 @@ func TestDoubleAttachPanics(t *testing.T) {
 	p.Attach(eng, vm)
 }
 
-func TestBadRegionBoundsPanic(t *testing.T) {
-	eng, vm, _, _ := rig(t)
+func TestBadRegionBoundsReturnsError(t *testing.T) {
 	cfg := testCfg()
 	cfg.MinRegions = 10
 	cfg.MaxRegions = 5
-	p := NewProfiler(cfg)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad bounds did not panic")
-		}
-	}()
-	p.Attach(eng, vm)
+	if _, err := NewProfiler(cfg); err == nil {
+		t.Fatal("bad bounds did not return an error")
+	}
+	if _, err := NewPolicy(cfg, 12, 512); err == nil {
+		t.Fatal("NewPolicy accepted bad bounds")
+	}
+	cfg.MinRegions = 0
+	cfg.MaxRegions = 5
+	if _, err := NewProfiler(cfg); err == nil {
+		t.Fatal("zero MinRegions did not return an error")
+	}
 }

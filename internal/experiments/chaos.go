@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"demeter/internal/balloon"
+	"demeter/internal/core"
+	"demeter/internal/engine"
+	"demeter/internal/fault"
+	"demeter/internal/hypervisor"
+	"demeter/internal/sim"
+	"demeter/internal/workload"
+)
+
+// ChaosConfig parameterizes a chaos run: a seed-driven fault schedule is
+// applied at each rung of an intensity ladder while a full Demeter stack
+// (double balloons, QoS rebalancer, PEBS-fed relocation) runs GUPS, and
+// end-of-run invariants assert that no layer leaked or wedged.
+type ChaosConfig struct {
+	// Seed drives the fault injector; the same seed and schedule always
+	// produce the same run (and the same report, bit for bit).
+	Seed uint64
+	// Schedule maps fault points to base rates; nil means every
+	// registered point at its default rate.
+	Schedule fault.Schedule
+	// Ladder lists the schedule multipliers to run, one rung each. Rung 0
+	// should be fault-free (multiplier 0) — it is the degradation
+	// baseline. Nil means {0, 1, 4}.
+	Ladder []float64
+	// VMs overrides the cluster size (0 = the scale's s.VMs).
+	VMs int
+	// Floor is the minimum acceptable throughput at any rung as a
+	// fraction of the fault-free baseline (0 = 0.5).
+	Floor float64
+}
+
+// DefaultChaosConfig returns the standard ladder at seed 1.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{Seed: 1, Ladder: []float64{0, 1, 4}, Floor: 0.5}
+}
+
+// chaosRung is one ladder step's outcome.
+type chaosRung struct {
+	mult   float64
+	thpt   float64
+	report string
+	errs   []string
+}
+
+// RunChaos runs the fault-injection ladder and returns a deterministic
+// report. The error is non-nil when any invariant was violated at any
+// rung; the report always includes the full per-layer accounting.
+func RunChaos(s Scale, cfg ChaosConfig) (string, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = fault.DefaultSchedule()
+	}
+	if cfg.Ladder == nil {
+		cfg.Ladder = []float64{0, 1, 4}
+	}
+	if cfg.VMs == 0 {
+		cfg.VMs = s.VMs
+	}
+	if cfg.Floor == 0 {
+		cfg.Floor = 0.5
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: %d VMs under schedule %q, seed %d\n\n", cfg.VMs, cfg.Schedule.String(), cfg.Seed)
+
+	var rungs []chaosRung
+	var failures []string
+	for _, mult := range cfg.Ladder {
+		r := runChaosRung(s, cfg, mult)
+		if len(rungs) > 0 && rungs[0].thpt > 0 {
+			base := rungs[0].thpt
+			ratio := r.thpt / base
+			r.report += fmt.Sprintf("  throughput vs baseline: %.2fx\n", ratio)
+			if ratio < cfg.Floor {
+				r.errs = append(r.errs, fmt.Sprintf("throughput %.2fx below floor %.2fx", ratio, cfg.Floor))
+			}
+		}
+		if len(r.errs) == 0 {
+			r.report += "  invariants: OK\n"
+		} else {
+			for _, e := range r.errs {
+				r.report += fmt.Sprintf("  INVARIANT VIOLATED: %s\n", e)
+				failures = append(failures, fmt.Sprintf("x%g: %s", mult, e))
+			}
+		}
+		rungs = append(rungs, r)
+		b.WriteString(r.report)
+		b.WriteByte('\n')
+	}
+
+	if len(failures) > 0 {
+		return b.String(), fmt.Errorf("chaos: %d invariant violation(s): %s", len(failures), strings.Join(failures, "; "))
+	}
+	b.WriteString("All invariants held at every rung: no frame leaks, no lost balloon\n" +
+		"pages, GPT/EPT/TLB consistent, throughput within the degradation floor.\n")
+	return b.String(), nil
+}
+
+// runChaosRung runs one ladder step: a fresh cluster with the schedule
+// scaled by mult, full Demeter management, then the invariant battery.
+func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
+	r := chaosRung{mult: mult}
+	eng := sim.NewEngine()
+	n := cfg.VMs
+
+	inj := fault.NewInjector(cfg.Seed)
+	cfg.Schedule.Scale(mult).Apply(inj)
+
+	m := hypervisor.NewMachine(eng, hostTopology("pmem", s.VMFMEM*uint64(n), s.VMSMEM*uint64(n)))
+	m.Fault = inj // before NewVM/NewDouble so every layer inherits it
+	if s.ScanPTECost > 0 {
+		m.Cost.ScanPTECost = s.ScanPTECost
+	}
+
+	// Elastic configuration: guest nodes at full capacity, the double
+	// balloon carves the actual provision (figure 6's demeter scheme).
+	var vms []*hypervisor.VM
+	var doubles []*balloon.Double
+	pending := n
+	for i := 0; i < n; i++ {
+		total := s.VMFMEM + s.VMSMEM
+		vm, err := m.NewVM(hypervisor.VMConfig{
+			VCPUs: 4, GuestFMEM: total, GuestSMEM: total,
+			FMEMBacking: 0, SMEMBacking: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		d := balloon.NewDouble(eng, vm)
+		d.SetProvision(s.VMFMEM, s.VMSMEM, func() { pending-- })
+		vms = append(vms, vm)
+		doubles = append(doubles, d)
+	}
+	for pending > 0 {
+		if !eng.Step() {
+			r.errs = append(r.errs, "provisioning never settled (balloon watchdog failed to fire)")
+			r.report = fmt.Sprintf("rung x%g:\n", mult)
+			return r
+		}
+	}
+
+	for _, d := range doubles {
+		d.StartStats(2 * s.EpochPeriod)
+	}
+	reb := balloon.NewRebalancer(eng, doubles, nil)
+	reb.Budget = s.VMFMEM * uint64(n)
+	reb.MinPerVM = s.VMFMEM / 4
+	reb.SMEMPerVM = s.VMSMEM
+	reb.Start(8 * s.EpochPeriod)
+
+	var xs []*engine.Executor
+	var ds []*core.Demeter
+	for i, vm := range vms {
+		ccfg := core.DefaultConfig()
+		ccfg.EpochPeriod = s.EpochPeriod
+		ccfg.SamplePeriod = s.SamplePeriod
+		ccfg.Params.GranularityPages = s.Granularity
+		ccfg.MigrationBatch = s.MigrationBatch
+		// The executor's workload Setup must run before the policy
+		// attaches: the range tree snapshots the process VMAs at attach.
+		xs = append(xs, engine.NewExecutor(eng, vm,
+			workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(i)+1)))
+		d := core.New(ccfg)
+		d.Attach(eng, vm)
+		ds = append(ds, d)
+	}
+
+	// Double the horizon: faulty rungs legitimately run slower, and the
+	// degradation floor (not the horizon) is the performance assertion.
+	finished := engine.RunAll(eng, 2*s.Horizon, xs...)
+	reb.Stop()
+	for _, d := range ds {
+		d.Detach()
+	}
+	for _, d := range doubles {
+		d.StopStats()
+	}
+	eng.RunUntilIdle()
+	if !finished {
+		r.errs = append(r.errs, fmt.Sprintf("cluster did not finish within 2x horizon %v", s.Horizon))
+	}
+
+	// Teardown: reap any completions whose interrupts were dropped, then
+	// audit every layer.
+	for i, d := range doubles {
+		d.Quiesce()
+		if left := d.Inflight(); left != 0 {
+			r.errs = append(r.errs, fmt.Sprintf("VM%d: %d balloon/stats requests still in flight after quiesce", i, left))
+		}
+	}
+	if err := machineAuditErr(m); err != nil {
+		r.errs = append(r.errs, err.Error())
+	}
+	for i, d := range doubles {
+		k := vms[i].Kernel
+		if held, ballooned := d.FMEM.Held(), k.BalloonedOn(0); held != ballooned {
+			r.errs = append(r.errs, fmt.Sprintf("VM%d: FMEM balloon holds %d but guest has %d ballooned", i, held, ballooned))
+		}
+		if held, ballooned := d.SMEM.Held(), k.BalloonedOn(1); held != ballooned {
+			r.errs = append(r.errs, fmt.Sprintf("VM%d: SMEM balloon holds %d but guest has %d ballooned", i, held, ballooned))
+		}
+	}
+
+	var ops uint64
+	var wall sim.Time
+	for _, x := range xs {
+		ops += x.OpsDone()
+		if x.FinishedAt() > wall {
+			wall = x.FinishedAt()
+		}
+	}
+	if wall > 0 {
+		r.thpt = float64(ops) / wall.Seconds()
+	}
+
+	r.report = chaosRungReport(mult, r.thpt, inj, vms, ds, doubles)
+	return r
+}
+
+// chaosRungReport renders one rung's fault and per-layer counters. Output
+// is fully deterministic for a given seed/schedule.
+func chaosRungReport(mult, thpt float64, inj *fault.Injector, vms []*hypervisor.VM, ds []*core.Demeter, doubles []*balloon.Double) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rung x%g: throughput %.4g ops/s\n", mult, thpt)
+
+	for _, c := range inj.Counters() {
+		fmt.Fprintf(&b, "  fault %-24s rate %-8g fired %d/%d\n", c.Point, c.Rate, c.Fired, c.Checked)
+	}
+
+	var hv struct{ busy, mrb, srb, spikes uint64 }
+	var pe struct{ pmis, widen, narrow uint64 }
+	for _, vm := range vms {
+		st := vm.Stats()
+		hv.busy += st.MigrateBusy
+		hv.mrb += st.MigrateRollbacks
+		hv.srb += st.SwapRollbacks
+		hv.spikes += st.LatencySpikes
+		if vm.PEBS != nil {
+			ps := vm.PEBS.Stats()
+			pe.pmis += ps.PMIs
+			pe.widen += ps.Widenings
+			pe.narrow += ps.Narrowings
+		}
+	}
+	var co struct{ prom, swaps, busy, rb, retries, ok, abandoned uint64 }
+	for _, d := range ds {
+		st := d.Stats()
+		co.prom += st.Promoted
+		co.swaps += st.SwapPairs
+		co.busy += st.Busy
+		co.rb += st.Rollbacks
+		co.retries += st.Retries
+		co.ok += st.RetriedOK
+		co.abandoned += st.Abandoned
+	}
+	var bl struct{ timeouts, recovered, aborts, resubmits uint64 }
+	var vq struct{ stalls, drops, recovered uint64 }
+	for _, d := range doubles {
+		for _, side := range []*balloon.Balloon{d.FMEM, d.SMEM} {
+			bl.timeouts += side.Timeouts
+			bl.recovered += side.Recovered
+			bl.aborts += side.Aborts
+			bl.resubmits += side.Resubmits
+			qs := side.QueueStats()
+			vq.stalls += qs.StalledKicks
+			vq.drops += qs.DroppedIRQs
+			vq.recovered += qs.PollRecovered
+		}
+		qs := d.StatsQueueStats()
+		vq.stalls += qs.StalledKicks
+		vq.drops += qs.DroppedIRQs
+		vq.recovered += qs.PollRecovered
+	}
+
+	fmt.Fprintf(&b, "  hypervisor: busy %d, migrate rollbacks %d, swap rollbacks %d, latency spikes %d\n",
+		hv.busy, hv.mrb, hv.srb, hv.spikes)
+	fmt.Fprintf(&b, "  core:       promoted %d, swaps %d, busy %d, rollbacks %d, retries %d (ok %d), abandoned %d\n",
+		co.prom, co.swaps, co.busy, co.rb, co.retries, co.ok, co.abandoned)
+	fmt.Fprintf(&b, "  balloon:    timeouts %d, recovered %d, aborts %d, resubmits %d\n",
+		bl.timeouts, bl.recovered, bl.aborts, bl.resubmits)
+	fmt.Fprintf(&b, "  virtio:     stalled kicks %d, dropped IRQs %d, poll-recovered %d\n",
+		vq.stalls, vq.drops, vq.recovered)
+	fmt.Fprintf(&b, "  pebs:       PMIs %d, widenings %d, narrowings %d\n",
+		pe.pmis, pe.widen, pe.narrow)
+	return b.String()
+}

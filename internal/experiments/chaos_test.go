@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosInvariantsHold(t *testing.T) {
+	s := Tiny()
+	cfg := DefaultChaosConfig()
+	cfg.VMs = 2
+	report, err := RunChaos(s, cfg)
+	if err != nil {
+		t.Fatalf("chaos failed: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "invariants: OK") {
+		t.Fatalf("report missing invariant confirmation:\n%s", report)
+	}
+	// Faults must actually have fired at the non-zero rungs.
+	if !strings.Contains(report, "rung x4") {
+		t.Fatalf("ladder did not reach x4:\n%s", report)
+	}
+}
+
+func TestChaosSameSeedBitIdentical(t *testing.T) {
+	s := Tiny()
+	cfg := DefaultChaosConfig()
+	cfg.VMs = 2
+	cfg.Ladder = []float64{0, 2}
+	r1, err1 := RunChaos(s, cfg)
+	r2, err2 := RunChaos(s, cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("chaos failed: %v / %v", err1, err2)
+	}
+	if r1 != r2 {
+		t.Fatalf("same-seed chaos runs differ:\n--- run 1:\n%s\n--- run 2:\n%s", r1, r2)
+	}
+}

@@ -191,7 +191,11 @@ func (s Scale) NewPolicy(design string) Policy {
 		cfg.SamplingInterval = 100 * sim.Microsecond
 		cfg.AggregationInterval = s.EpochPeriod
 		cfg.MaxRegions = 200
-		return damon.NewPolicy(cfg, 2, s.MigrationBatch)
+		pol, err := damon.NewPolicy(cfg, 2, s.MigrationBatch)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: damon config: %v", err))
+		}
+		return pol
 	default:
 		panic(fmt.Sprintf("experiments: unknown design %q", design))
 	}
@@ -380,7 +384,35 @@ func (s Scale) RunCluster(design string, nVMs int, mkWL func(vmID int) workload.
 		}
 	}
 	res.HostCPU.Merge(m.HostLedger)
+	auditMachine(m)
 	return res
+}
+
+// auditMachine runs the end-of-experiment frame-accounting and mapping
+// consistency checks on every layer: host frame conservation, per-VM guest
+// frame conservation, and TLB/GPT/EPT agreement. Experiments panic on a
+// violation — a leak here is a simulator bug, not a result.
+func auditMachine(m *hypervisor.Machine) {
+	if err := machineAuditErr(m); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}
+
+// machineAuditErr is auditMachine's error-returning form, used by the
+// chaos runner which reports violations instead of panicking.
+func machineAuditErr(m *hypervisor.Machine) error {
+	if err := m.AuditFrames(); err != nil {
+		return fmt.Errorf("host frame audit failed: %w", err)
+	}
+	for i, vm := range m.VMs {
+		if err := vm.AuditGuestFrames(); err != nil {
+			return fmt.Errorf("VM%d guest frame audit failed: %w", i, err)
+		}
+		if err := vm.AuditMappings(); err != nil {
+			return fmt.Errorf("VM%d mapping audit failed: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // gupsSplit builds per-VM GUPS workloads dividing the full (s.VMs-sized)

@@ -170,6 +170,7 @@ func Figure4Data(s Scale) (gva, gpa HeatMap) {
 			break
 		}
 	}
+	auditMachine(m)
 	return gva, gpa
 }
 

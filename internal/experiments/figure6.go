@@ -137,5 +137,6 @@ func runProvisioned(s Scale, scheme provisionScheme) float64 {
 			wall = x.FinishedAt()
 		}
 	}
+	auditMachine(m)
 	return float64(ops2) / wall.Seconds()
 }

@@ -53,6 +53,7 @@ func runDemeterWith(s Scale, nVMs int, cfg core.Config) float64 {
 	for _, x := range xs {
 		sum += x.Runtime().Seconds()
 	}
+	auditMachine(m)
 	return sum / float64(nVMs)
 }
 

@@ -34,12 +34,15 @@ func MeasureTierLatency(tier string, node int) sim.Duration {
 	}
 	const pages = 512
 	start := vm.Proc.Mmap(pages * mem.PageSize)
+	var burned []mem.Frame
 	if node == 1 {
 		// Exhaust the guest fast node so first touches land on SMEM.
 		for {
-			if _, ok := vm.Kernel.AllocPageOn(0); !ok {
+			f, ok := vm.Kernel.AllocPageOn(0)
+			if !ok {
 				break
 			}
+			burned = append(burned, f)
 		}
 	}
 	// Touch (cold) then measure warm latencies like MLC's idle-latency
@@ -54,6 +57,10 @@ func MeasureTierLatency(tier string, node int) sim.Duration {
 			total += vm.Access(start+i*mem.PageSize, false)
 		}
 	}
+	for _, f := range burned {
+		vm.Kernel.FreePage(f)
+	}
+	auditMachine(m)
 	return total / (pages * rounds)
 }
 

@@ -59,11 +59,12 @@ type Kernel struct {
 	ctxHooks  []func()
 	stats     Stats
 	ballooned map[mem.Frame]bool // pages currently held by a balloon
+	pinned    map[mem.Frame]int  // transient pin counts (DMA, gup)
 }
 
 // NewKernel builds a guest kernel over the given guest-physical topology.
 func NewKernel(topo *mem.Topology) *Kernel {
-	k := &Kernel{Topo: topo, ballooned: make(map[mem.Frame]bool)}
+	k := &Kernel{Topo: topo, ballooned: make(map[mem.Frame]bool), pinned: make(map[mem.Frame]int)}
 	// Fast nodes first, then the rest, preserving node order.
 	for _, n := range topo.Nodes {
 		if n.Spec.Kind == mem.TierDRAM {
@@ -174,6 +175,59 @@ func (k *Kernel) BalloonedOn(node int) uint64 {
 		}
 	}
 	return n
+}
+
+// PinPage marks a guest frame as transiently unmovable (DMA in flight,
+// get_user_pages): migration of a pinned page fails with a busy error and
+// the caller must back off. Pins are counted.
+func (k *Kernel) PinPage(f mem.Frame) { k.pinned[f]++ }
+
+// UnpinPage drops one pin. Unpinning a frame that is not pinned panics —
+// an internal refcount bug.
+func (k *Kernel) UnpinPage(f mem.Frame) {
+	n, ok := k.pinned[f]
+	if !ok {
+		panic(fmt.Sprintf("guestos: unpinning frame %d that is not pinned", f))
+	}
+	if n <= 1 {
+		delete(k.pinned, f)
+		return
+	}
+	k.pinned[f] = n - 1
+}
+
+// Pinned reports whether a guest frame is currently pinned.
+func (k *Kernel) Pinned(f mem.Frame) bool { return k.pinned[f] > 0 }
+
+// Audit verifies the guest allocator balances: for each guest node,
+// GPT-mapped + balloon-held + free == total, with no guest frame mapped by
+// two processes (or twice in one page table).
+func (k *Kernel) Audit() error {
+	mappedPerNode := make(map[int]uint64)
+	owner := make(map[mem.Frame]string)
+	for _, p := range k.procs {
+		var dup error
+		p.GPT.Scan(func(gvpn uint64, e *pagetable.Entry) bool {
+			f := mem.Frame(e.Value())
+			if prev, taken := owner[f]; taken {
+				dup = fmt.Errorf("guestos: gpfn %d mapped twice (%s and %s gvpn %#x)", f, prev, p.Name, gvpn)
+				return false
+			}
+			owner[f] = p.Name
+			if k.ballooned[f] {
+				dup = fmt.Errorf("guestos: gpfn %d both mapped (%s) and balloon-held", f, p.Name)
+				return false
+			}
+			mappedPerNode[k.Topo.NodeOf(f).ID]++
+			return true
+		})
+		if dup != nil {
+			return dup
+		}
+	}
+	return k.Topo.Audit(func(nodeID int) (mapped, held uint64) {
+		return mappedPerNode[nodeID], k.BalloonedOn(nodeID)
+	})
 }
 
 // RegisterContextSwitchHook adds fn to the scheduler's switch-out path.

@@ -6,14 +6,39 @@
 package hypervisor
 
 import (
+	"errors"
 	"fmt"
 
+	"demeter/internal/fault"
 	"demeter/internal/guestos"
 	"demeter/internal/mem"
 	"demeter/internal/pagetable"
 	"demeter/internal/pebs"
 	"demeter/internal/sim"
 	"demeter/internal/tlb"
+)
+
+// Sentinel errors returned by the migration primitives. Callers branch on
+// these to decide between retrying (transient: ErrPageBusy, ErrCopyFault,
+// ErrNoFrame) and dropping the candidate (permanent: ErrNotMapped,
+// ErrAlreadyPlaced).
+var (
+	ErrNotMapped     = errors.New("page not mapped")
+	ErrAlreadyPlaced = errors.New("page already on target node")
+	ErrNoFrame       = errors.New("no free frame on target node")
+	ErrPageBusy      = errors.New("page transiently busy")
+	ErrCopyFault     = errors.New("page copy failed")
+)
+
+// Fault points for the migration primitives. A copy fault aborts the
+// transfer after the flush and first copy; the primitive rolls back to the
+// original mapping. A busy page refuses migration up front, the way a
+// pinned or under-I/O page would in a real kernel.
+var (
+	FaultMigrateCopy = fault.Register("migrate.copy-fail", "hypervisor",
+		"page copy fails mid-migration, forcing a rollback", 0.01, 0)
+	FaultMigrateBusy = fault.Register("migrate.page-busy", "hypervisor/guestos",
+		"page transiently pinned/busy; migration refused", 0.02, 0)
 )
 
 // CostModel holds the software and hardware cost constants the simulation
@@ -109,6 +134,11 @@ type Machine struct {
 	// HostLedger accrues hypervisor-side management CPU (H-TPP's scans
 	// and migrations, balloon device work).
 	HostLedger *sim.Ledger
+
+	// Fault, when non-nil, injects failures at the machine's registered
+	// fault points (migration copy faults, busy pages, latency spikes).
+	// Nil means a fault-free run; all injection sites are nil-safe.
+	Fault *fault.Injector
 }
 
 // NewMachine builds a host over topo.
@@ -144,6 +174,11 @@ type VMStats struct {
 	Spills      uint64 // EPT backings that landed on a non-matching tier
 	FastHits    uint64 // accesses served from FMEM
 	SlowHits    uint64 // accesses served from SMEM
+
+	MigrateBusy      uint64 // migrations refused: page pinned or busy
+	MigrateRollbacks uint64 // single-page migrations rolled back on copy fault
+	SwapRollbacks    uint64 // pair swaps rolled back on copy fault
+	LatencySpikes    uint64 // slow-tier accesses that hit an injected spike
 }
 
 // VM is one guest plus its host-side virtualization state.
@@ -211,6 +246,7 @@ func (m *Machine) NewVM(cfg VMConfig) (*VM, error) {
 		if err != nil {
 			return nil, err
 		}
+		u.Fault = m.Fault
 		vm.PEBS = u
 	}
 	m.VMs = append(m.VMs, vm)
@@ -288,7 +324,7 @@ func (vm *VM) Access(gva uint64, write bool) sim.Duration {
 
 	if hpfn, ok := vm.TLB.Lookup(gvpn); ok {
 		spec := vm.Machine.Topo.SpecOf(mem.Frame(hpfn))
-		lat := spec.LoadedLatency
+		lat := spec.LoadedLatency + vm.tierSpike(spec)
 		vm.recordTier(spec.Kind)
 		if vm.PEBS != nil {
 			vm.PEBS.Record(gvpn, lat, spec.Kind == mem.TierDRAM)
@@ -335,12 +371,27 @@ func (vm *VM) Access(gva uint64, write bool) sim.Duration {
 	hpfn := he.Value()
 	vm.TLB.Insert(gvpn, hpfn)
 	spec := vm.Machine.Topo.SpecOf(mem.Frame(hpfn))
-	cost += spec.LoadedLatency
+	lat := spec.LoadedLatency + vm.tierSpike(spec)
+	cost += lat
 	vm.recordTier(spec.Kind)
 	if vm.PEBS != nil {
-		vm.PEBS.Record(gvpn, spec.LoadedLatency, spec.Kind == mem.TierDRAM)
+		vm.PEBS.Record(gvpn, lat, spec.Kind == mem.TierDRAM)
 	}
 	return cost
+}
+
+// tierSpike returns the extra latency of a transient slow-tier congestion
+// spike, when one is injected. DRAM never spikes.
+func (vm *VM) tierSpike(spec mem.TierSpec) sim.Duration {
+	if spec.Kind == mem.TierDRAM {
+		return 0
+	}
+	fired, magn := vm.Machine.Fault.FireMagnitude(mem.FaultSlowTierSpike)
+	if !fired {
+		return 0
+	}
+	vm.stats.LatencySpikes++
+	return sim.Duration(magn * float64(spec.LoadedLatency))
 }
 
 func (vm *VM) recordTier(kind mem.TierKind) {
@@ -398,24 +449,40 @@ func (vm *VM) hostSpecOfGPFN(gpfn uint64) mem.TierSpec {
 // exchange their guest frames — unmap both, swap contents, remap — with
 // no temporary page and no allocation. Returns the charged cost,
 // including two single-address invalidations and both copies.
+//
+// The step is transactional: all GPT mutation happens at commit, so a
+// copy fault rolls back by remapping the originals. The flushes have
+// already landed by then, which is safe — the next access to either page
+// just repays a walk to the unchanged translation.
 func (vm *VM) SwapGuestPages(hotGVPN, coldGVPN uint64) (sim.Duration, error) {
 	gpt := vm.Proc.GPT
 	hotE, coldE := gpt.Lookup(hotGVPN), gpt.Lookup(coldGVPN)
 	if hotE == nil || coldE == nil {
-		return 0, fmt.Errorf("hypervisor: swap of unmapped page (%#x,%#x)", hotGVPN, coldGVPN)
+		return 0, fmt.Errorf("%w: swap pair (%#x,%#x)", ErrNotMapped, hotGVPN, coldGVPN)
 	}
 	hotGPFN, coldGPFN := hotE.Value(), coldE.Value()
+	cm := &vm.Machine.Cost
+	if vm.Kernel.Pinned(mem.Frame(hotGPFN)) || vm.Kernel.Pinned(mem.Frame(coldGPFN)) ||
+		vm.Machine.Fault.Fire(FaultMigrateBusy) {
+		vm.stats.MigrateBusy++
+		return cm.PTEOpCost, ErrPageBusy
+	}
 	hotSpec := vm.hostSpecOfGPFN(hotGPFN)
 	coldSpec := vm.hostSpecOfGPFN(coldGPFN)
 
-	cm := &vm.Machine.Cost
 	var cost sim.Duration
 	// Unmap both, flush, swap contents directly, remap crossed.
-	cost += 4 * cm.PTEOpCost // two unmaps + two maps
+	cost += 2 * cm.PTEOpCost // two unmaps
 	cost += vm.FlushSingle(hotGVPN)
 	cost += vm.FlushSingle(coldGVPN)
 	cost += mem.CopyCost(hotSpec, coldSpec, mem.PageSize)
+	if vm.Machine.Fault.Fire(FaultMigrateCopy) {
+		cost += 2 * cm.PTEOpCost // remap both originals
+		vm.stats.SwapRollbacks++
+		return cost, ErrCopyFault
+	}
 	cost += mem.CopyCost(coldSpec, hotSpec, mem.PageSize)
+	cost += 2 * cm.PTEOpCost // two maps
 	gpt.Remap(hotGVPN, coldGPFN)
 	gpt.Remap(coldGVPN, hotGPFN)
 	return cost, nil
@@ -424,34 +491,54 @@ func (vm *VM) SwapGuestPages(hotGVPN, coldGVPN uint64) (sim.Duration, error) {
 // MigrateGuestPage moves gvpn's backing to a freshly allocated guest
 // frame on targetGuestNode (the sequential demote-then-promote primitive
 // TPP-style designs use). The old guest frame returns to its node's free
-// list, keeping its EPT backing for reuse. Returns the cost and whether a
-// target frame was available.
-func (vm *VM) MigrateGuestPage(gvpn uint64, targetGuestNode int) (sim.Duration, bool) {
+// list, keeping its EPT backing for reuse. Returns the charged cost and
+// nil on success, or one of the sentinel errors: ErrNotMapped and
+// ErrAlreadyPlaced are permanent for this candidate; ErrNoFrame,
+// ErrPageBusy and ErrCopyFault are transient and worth retrying.
+//
+// Like SwapGuestPages the move is transactional: the GPT keeps pointing
+// at the source frame until the copy succeeds, so a copy fault only costs
+// the work already done — no mapping is lost.
+func (vm *VM) MigrateGuestPage(gvpn uint64, targetGuestNode int) (sim.Duration, error) {
 	ge := vm.Proc.GPT.Lookup(gvpn)
 	if ge == nil {
-		return 0, false
+		return 0, ErrNotMapped
 	}
 	oldGPFN := ge.Value()
 	if vm.Kernel.NodeOfGPFN(mem.Frame(oldGPFN)) == targetGuestNode {
-		return 0, false // already there
+		return 0, ErrAlreadyPlaced
+	}
+	cm := &vm.Machine.Cost
+	if vm.Kernel.Pinned(mem.Frame(oldGPFN)) || vm.Machine.Fault.Fire(FaultMigrateBusy) {
+		vm.stats.MigrateBusy++
+		return cm.PTEOpCost, ErrPageBusy
 	}
 	newGPFN, ok := vm.Kernel.AllocPageOn(targetGuestNode)
 	if !ok {
-		return 0, false
+		return 0, ErrNoFrame
 	}
-	cm := &vm.Machine.Cost
 	var cost sim.Duration
 	if _, faulted := vm.ensureBacked(uint64(newGPFN)); faulted {
 		cost += cm.EPTFaultCost
 	}
 	srcSpec := vm.hostSpecOfGPFN(oldGPFN)
 	dstSpec := vm.hostSpecOfGPFN(uint64(newGPFN))
-	cost += 2 * cm.PTEOpCost
+	cost += cm.PTEOpCost // unmap source
 	cost += vm.FlushSingle(gvpn)
+	if vm.Machine.Fault.Fire(FaultMigrateCopy) {
+		// Copy faulted partway: return the fresh frame, keep the original
+		// mapping. Charge roughly half the copy for the partial transfer.
+		cost += mem.CopyCost(srcSpec, dstSpec, mem.PageSize) / 2
+		cost += cm.PTEOpCost // restore source PTE
+		vm.Kernel.FreePage(newGPFN)
+		vm.stats.MigrateRollbacks++
+		return cost, ErrCopyFault
+	}
 	cost += mem.CopyCost(srcSpec, dstSpec, mem.PageSize)
+	cost += cm.PTEOpCost // map destination
 	vm.Proc.GPT.Remap(gvpn, uint64(newGPFN))
 	vm.Kernel.FreePage(mem.Frame(oldGPFN))
-	return cost, true
+	return cost, nil
 }
 
 // HostMigrate changes the host backing of gpfn to targetHostNode: the
@@ -527,4 +614,65 @@ func (vm *VM) Destroy() {
 // (telemetry for the QoS stats queue).
 func (vm *VM) GuestFreeFrames() (fmem, smem uint64) {
 	return vm.Kernel.Topo.Nodes[0].FreeFrames(), vm.Kernel.Topo.Nodes[1].FreeFrames()
+}
+
+// AuditFrames verifies host frame conservation: every host frame is
+// either on its node's free list or EPT-mapped by exactly one VM. Any
+// violation — a leaked frame, a double mapping — returns a descriptive
+// error. Chaos runs call this after every experiment.
+func (m *Machine) AuditFrames() error {
+	owner := make(map[uint64]int)
+	mapped := make(map[int]uint64)
+	for _, vm := range m.VMs {
+		var dup error
+		vm.EPT.Scan(func(_ uint64, e *pagetable.Entry) bool {
+			hpfn := e.Value()
+			if prev, seen := owner[hpfn]; seen {
+				dup = fmt.Errorf("hypervisor: host frame %d EPT-mapped by vm%d and vm%d", hpfn, prev, vm.ID)
+				return false
+			}
+			owner[hpfn] = vm.ID
+			mapped[m.Topo.NodeOf(mem.Frame(hpfn)).ID]++
+			return true
+		})
+		if dup != nil {
+			return dup
+		}
+	}
+	return m.Topo.Audit(func(nodeID int) (uint64, uint64) {
+		return mapped[nodeID], 0
+	})
+}
+
+// AuditGuestFrames verifies the guest kernel's frame conservation (see
+// guestos.Kernel.Audit).
+func (vm *VM) AuditGuestFrames() error { return vm.Kernel.Audit() }
+
+// AuditMappings verifies GPT/EPT/TLB consistency: every valid TLB entry
+// whose gVA is still GPT-mapped must agree with the current GPT∘EPT
+// composition. (A cached entry for a since-unmapped gVA is tolerated —
+// unmap without flush matches real munmap laziness — but a mapped gVA
+// must never translate through the TLB to the wrong frame, which is
+// exactly what a botched migration rollback would produce.)
+func (vm *VM) AuditMappings() error {
+	var err error
+	vm.TLB.Scan(func(gvpn, hpfn uint64) bool {
+		ge := vm.Proc.GPT.Lookup(gvpn)
+		if ge == nil {
+			return true
+		}
+		he := vm.EPT.Lookup(ge.Value())
+		if he == nil {
+			err = fmt.Errorf("hypervisor: vm%d TLB caches gvpn %#x but gpfn %d has no EPT backing",
+				vm.ID, gvpn, ge.Value())
+			return false
+		}
+		if he.Value() != hpfn {
+			err = fmt.Errorf("hypervisor: vm%d stale TLB entry: gvpn %#x → hpfn %d, page tables say %d",
+				vm.ID, gvpn, hpfn, he.Value())
+			return false
+		}
+		return true
+	})
+	return err
 }

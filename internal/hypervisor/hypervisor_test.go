@@ -185,9 +185,9 @@ func TestMigrateGuestPage(t *testing.T) {
 	}
 	// Demote a FMEM page to SMEM (frees an FMEM guest frame).
 	victim := start >> guestos.PageShift
-	cost, ok := vm.MigrateGuestPage(victim, 1)
-	if !ok || cost <= 0 {
-		t.Fatalf("demotion failed: cost=%v ok=%v", cost, ok)
+	cost, err := vm.MigrateGuestPage(victim, 1)
+	if err != nil || cost <= 0 {
+		t.Fatalf("demotion failed: cost=%v err=%v", cost, err)
 	}
 	if fast, _ := vm.ResidentTier(victim); fast {
 		t.Fatal("page still FMEM-resident after demotion")
@@ -197,16 +197,15 @@ func TestMigrateGuestPage(t *testing.T) {
 	}
 	// Promote an SMEM page into the freed slot.
 	hot := (start + 99*mem.PageSize) >> guestos.PageShift
-	_, ok = vm.MigrateGuestPage(hot, 0)
-	if !ok {
-		t.Fatal("promotion failed despite free FMEM frame")
+	if _, err = vm.MigrateGuestPage(hot, 0); err != nil {
+		t.Fatalf("promotion failed despite free FMEM frame: %v", err)
 	}
 	if fast, _ := vm.ResidentTier(hot); !fast {
 		t.Fatal("page not FMEM-resident after promotion")
 	}
 	// Migrating to the current node is a no-op.
-	if _, ok := vm.MigrateGuestPage(hot, 0); ok {
-		t.Fatal("same-node migration should be a no-op")
+	if _, err := vm.MigrateGuestPage(hot, 0); err != ErrAlreadyPlaced {
+		t.Fatalf("same-node migration: err=%v, want ErrAlreadyPlaced", err)
 	}
 }
 
@@ -217,8 +216,8 @@ func TestMigrateFailsWhenTargetFull(t *testing.T) {
 		vm.Access(start+i*mem.PageSize, false)
 	}
 	hot := (start + 99*mem.PageSize) >> guestos.PageShift
-	if _, ok := vm.MigrateGuestPage(hot, 0); ok {
-		t.Fatal("promotion should fail with zero free FMEM frames")
+	if _, err := vm.MigrateGuestPage(hot, 0); err != ErrNoFrame {
+		t.Fatalf("promotion with zero free FMEM frames: err=%v, want ErrNoFrame", err)
 	}
 }
 

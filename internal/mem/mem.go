@@ -14,8 +14,16 @@ package mem
 import (
 	"fmt"
 
+	"demeter/internal/fault"
 	"demeter/internal/sim"
 )
+
+// FaultSlowTierSpike models transient slow-tier congestion (a busy Optane
+// DIMM controller, a contended CXL link): a fired access pays an extra
+// magnitude × loaded-latency on top of the normal charge. The access path
+// in the hypervisor consults it for every non-DRAM access.
+var FaultSlowTierSpike = fault.Register("mem.latency-spike", "mem",
+	"transient slow-tier latency spike (device congestion)", 0.0005, 8)
 
 // PageSize is the base page size in bytes. The simulator manages 4 KiB
 // frames; the Demeter classifier's 2 MiB split granularity is expressed in
@@ -237,6 +245,40 @@ func (t *Topology) SlowNode() *Node {
 		}
 	}
 	panic("mem: topology has no slow node")
+}
+
+// FreeList returns a copy of the node's free frames (audit/diagnostic
+// use).
+func (n *Node) FreeList() []Frame { return append([]Frame(nil), n.free...) }
+
+// Audit verifies frame conservation for every node of t:
+//
+//	mapped + held + free == total
+//
+// where mapped and held (balloon-held) are supplied per node by the
+// caller — the allocator hands frames out but cannot know who holds them.
+// It also validates free-list integrity: every free frame belongs to its
+// node and appears exactly once. Any violation is a frame leak or double
+// accounting and returns a descriptive error.
+func (t *Topology) Audit(usage func(nodeID int) (mapped, held uint64)) error {
+	for _, n := range t.Nodes {
+		seen := make(map[Frame]bool, len(n.free))
+		for _, f := range n.free {
+			if !n.Contains(f) {
+				return fmt.Errorf("mem: node %d free list holds foreign frame %d", n.ID, f)
+			}
+			if seen[f] {
+				return fmt.Errorf("mem: node %d free list holds frame %d twice", n.ID, f)
+			}
+			seen[f] = true
+		}
+		mapped, held := usage(n.ID)
+		if got := mapped + held + n.FreeFrames(); got != n.nframes {
+			return fmt.Errorf("mem: node %d frame leak: mapped %d + held %d + free %d = %d, want %d",
+				n.ID, mapped, held, n.FreeFrames(), got, n.nframes)
+		}
+	}
+	return nil
 }
 
 // GiB expresses a byte count in frames.

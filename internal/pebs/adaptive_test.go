@@ -1,0 +1,118 @@
+package pebs
+
+import (
+	"testing"
+
+	"demeter/internal/fault"
+)
+
+// adaptiveCfg is a small unit tuned so adaptation windows pass quickly:
+// base period 4, window of 8 qualifying events, storm at 2 PMIs, narrow
+// after 2 calm windows.
+func adaptiveCfg() Config {
+	cfg := DefaultConfig()
+	cfg.SamplePeriod = 4
+	cfg.BufferEntries = 2
+	cfg.AdaptivePeriod = true
+	cfg.StormPMIs = 2
+	cfg.CalmWindows = 2
+	cfg.AdaptWindow = 8
+	cfg.MaxPeriodShift = 3
+	return cfg
+}
+
+func TestAdaptivePeriodWidensUnderPMIStorm(t *testing.T) {
+	u := armedUnit(t, adaptiveCfg())
+	u.OnPMI = func() { u.Drain() }
+	inj := fault.NewInjector(1)
+	inj.ArmMagnitude(FaultPMIStorm, 1, 4) // every event bursts spurious PMIs
+	u.Fault = inj
+
+	for i := 0; i < 64; i++ {
+		u.Record(uint64(i), 200, false)
+	}
+	st := u.Stats()
+	if st.Widenings == 0 {
+		t.Fatalf("no widenings under a sustained PMI storm: %+v", st)
+	}
+	if got, base := u.CurrentPeriod(), uint64(4); got <= base {
+		t.Fatalf("period %d not widened beyond base %d", got, base)
+	}
+	if max := uint64(4) << 3; u.CurrentPeriod() > max {
+		t.Fatalf("period %d exceeds cap %d", u.CurrentPeriod(), max)
+	}
+}
+
+func TestAdaptivePeriodNarrowsWhenCalm(t *testing.T) {
+	u := armedUnit(t, adaptiveCfg())
+	u.OnPMI = func() { u.Drain() }
+	inj := fault.NewInjector(1)
+	inj.ArmMagnitude(FaultPMIStorm, 1, 4)
+	u.Fault = inj
+	for i := 0; i < 64; i++ {
+		u.Record(uint64(i), 200, false)
+	}
+	widened := u.CurrentPeriod()
+	if widened <= 4 {
+		t.Fatalf("storm did not widen (period %d)", widened)
+	}
+
+	// Storm over: with a drained buffer and no injected PMIs, calm
+	// windows walk the period back down toward the base.
+	inj.ArmMagnitude(FaultPMIStorm, 0, 0)
+	for i := 0; i < 4096 && u.CurrentPeriod() > 4; i++ {
+		u.Record(uint64(i), 200, false)
+		u.Drain() // keep the buffer empty so no real PMIs fire
+	}
+	st := u.Stats()
+	if st.Narrowings == 0 {
+		t.Fatalf("no narrowings after the storm passed: %+v", st)
+	}
+	if got := u.CurrentPeriod(); got != 4 {
+		t.Fatalf("period %d did not return to base 4", got)
+	}
+}
+
+func TestAdaptiveDisabledKeepsPeriodFixed(t *testing.T) {
+	cfg := adaptiveCfg()
+	cfg.AdaptivePeriod = false
+	u := armedUnit(t, cfg)
+	u.OnPMI = func() { u.Drain() }
+	inj := fault.NewInjector(1)
+	inj.ArmMagnitude(FaultPMIStorm, 1, 4)
+	u.Fault = inj
+	for i := 0; i < 64; i++ {
+		u.Record(uint64(i), 200, false)
+	}
+	if got := u.CurrentPeriod(); got != 4 {
+		t.Fatalf("period %d moved with adaptation disabled", got)
+	}
+	if u.Stats().Widenings != 0 {
+		t.Fatal("widening counted with adaptation disabled")
+	}
+}
+
+func TestBufferOverflowFaultDropsSample(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SamplePeriod = 1
+	cfg.BufferEntries = 8
+	u := armedUnit(t, cfg)
+	drained := 0
+	u.OnPMI = func() { drained += len(u.Drain()) }
+	inj := fault.NewInjector(1)
+	inj.Arm(FaultBufferOverflow, 1)
+	u.Fault = inj
+	for i := 0; i < 10; i++ {
+		u.Record(uint64(i), 200, false)
+	}
+	st := u.Stats()
+	if st.Dropped != 10 {
+		t.Fatalf("dropped = %d, want all 10 under a permanent overflow fault", st.Dropped)
+	}
+	if st.PMIs == 0 {
+		t.Fatal("overflow fault must still raise the PMI")
+	}
+	if drained+u.Buffered() != 0 {
+		t.Fatal("overflowed samples must not reach the buffer")
+	}
+}

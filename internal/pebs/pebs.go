@@ -21,7 +21,19 @@ package pebs
 import (
 	"fmt"
 
+	"demeter/internal/fault"
 	"demeter/internal/sim"
+)
+
+// Fault points for the sampling hardware. An overflow loses the sample
+// that triggered it (on top of raising a PMI); a storm delivers a burst
+// of spurious PMIs, the interrupt-pressure scenario adaptive sampling is
+// built to survive.
+var (
+	FaultBufferOverflow = fault.Register("pebs.buffer-overflow", "pebs",
+		"sample lost to a spurious buffer overflow (PMI raised)", 0.002, 0)
+	FaultPMIStorm = fault.Register("pebs.pmi-storm", "pebs",
+		"burst of magnitude spurious PMIs", 0.0005, 8)
 )
 
 // Event selects the PMU event programmed as the PEBS trigger.
@@ -76,6 +88,24 @@ type Config struct {
 	// EagerEPT declares that the VM's memory is fully pre-mapped and
 	// unswappable, the pre-v5 workaround that sacrifices overcommitment.
 	EagerEPT bool
+
+	// AdaptivePeriod enables graceful degradation under interrupt
+	// pressure: sustained PMI storms double the effective sample period
+	// (fewer samples, fewer interrupts) and calm windows halve it back
+	// toward the programmed base.
+	AdaptivePeriod bool
+	// StormPMIs is the PMI count within one adaptation window that
+	// qualifies as a storm (default 4).
+	StormPMIs int
+	// CalmWindows is how many consecutive PMI-free windows must pass
+	// before the period narrows one step (default 2).
+	CalmWindows int
+	// AdaptWindow is the adaptation window length in qualifying events
+	// (default 16× SamplePeriod).
+	AdaptWindow uint64
+	// MaxPeriodShift caps widening at SamplePeriod << MaxPeriodShift
+	// (default 6, i.e. 64× the base period).
+	MaxPeriodShift int
 }
 
 // DefaultConfig is the paper's production configuration (§3.2.2, §5.2.3).
@@ -93,9 +123,11 @@ func DefaultConfig() Config {
 type Stats struct {
 	Qualifying uint64 // accesses that passed the event/threshold filter
 	Samples    uint64 // records written to the buffer
-	PMIs       uint64 // buffer overshoots
-	Dropped    uint64 // samples lost to a full buffer with no PMI handler
+	PMIs       uint64 // buffer overshoots (including injected spurious ones)
+	Dropped    uint64 // samples lost (full buffer without handler, or fault)
 	Drains     uint64 // Drain invocations
+	Widenings  uint64 // adaptive period doublings under PMI storms
+	Narrowings uint64 // adaptive period halvings after calm windows
 }
 
 // Unit is one VM's virtualized PEBS facility. The buffer is private to the
@@ -107,9 +139,17 @@ type Unit struct {
 	buffer  []Sample
 	stats   Stats
 
+	period    uint64 // effective sample period (== cfg.SamplePeriod unless adapted)
+	winEvents uint64 // qualifying events in the current adaptation window
+	winPMIs   int    // PMIs in the current adaptation window
+	calm      int    // consecutive PMI-free windows
+
 	// OnPMI, when set, is invoked on buffer overshoot. The handler is
 	// expected to Drain; its CPU cost is charged by the caller's ledger.
 	OnPMI func()
+
+	// Fault, when non-nil, injects buffer overflows and PMI storms.
+	Fault *fault.Injector
 }
 
 // NewUnit validates cfg and returns a disarmed unit.
@@ -123,7 +163,19 @@ func NewUnit(cfg Config) (*Unit, error) {
 	if cfg.LatencyThreshold < 0 {
 		return nil, fmt.Errorf("pebs: negative latency threshold")
 	}
-	return &Unit{cfg: cfg, counter: cfg.SamplePeriod}, nil
+	if cfg.StormPMIs <= 0 {
+		cfg.StormPMIs = 4
+	}
+	if cfg.CalmWindows <= 0 {
+		cfg.CalmWindows = 2
+	}
+	if cfg.AdaptWindow == 0 {
+		cfg.AdaptWindow = 16 * cfg.SamplePeriod
+	}
+	if cfg.MaxPeriodShift <= 0 {
+		cfg.MaxPeriodShift = 6
+	}
+	return &Unit{cfg: cfg, counter: cfg.SamplePeriod, period: cfg.SamplePeriod}, nil
 }
 
 // Arm enables sampling. Under a pre-v5 PEBS with a lazily populated EPT
@@ -166,18 +218,34 @@ func (u *Unit) Record(gvpn uint64, latency sim.Duration, fastTier bool) {
 		return
 	}
 	u.stats.Qualifying++
+	u.tickWindow()
+	if fired, magn := u.Fault.FireMagnitude(FaultPMIStorm); fired {
+		// Spurious interrupt burst: each PMI costs the guest a handler
+		// invocation but delivers no sample.
+		burst := int(magn)
+		if burst < 1 {
+			burst = 1
+		}
+		for i := 0; i < burst; i++ {
+			u.pmi()
+		}
+	}
 	u.counter--
 	if u.counter > 0 {
 		return
 	}
-	u.counter = u.cfg.SamplePeriod
+	u.counter = u.period
+	if u.Fault.Fire(FaultBufferOverflow) {
+		// The write that should have stored this record overflowed: the
+		// hardware raises a PMI but the sample is gone.
+		u.pmi()
+		u.stats.Dropped++
+		return
+	}
 	if len(u.buffer) >= u.cfg.BufferEntries {
 		// Overshoot: PMI if a handler is installed, else the record is
 		// lost. Either way the hardware signals the overflow.
-		u.stats.PMIs++
-		if u.OnPMI != nil {
-			u.OnPMI()
-		}
+		u.pmi()
 		if len(u.buffer) >= u.cfg.BufferEntries {
 			u.stats.Dropped++
 			return
@@ -185,6 +253,58 @@ func (u *Unit) Record(gvpn uint64, latency sim.Duration, fastTier bool) {
 	}
 	u.buffer = append(u.buffer, Sample{GVPN: gvpn, Latency: latency})
 	u.stats.Samples++
+}
+
+// pmi delivers one performance-monitoring interrupt.
+func (u *Unit) pmi() {
+	u.stats.PMIs++
+	u.winPMIs++
+	if u.OnPMI != nil {
+		u.OnPMI()
+	}
+}
+
+// CurrentPeriod returns the effective sample period, which adaptation may
+// have widened beyond the programmed base.
+func (u *Unit) CurrentPeriod() uint64 { return u.period }
+
+// tickWindow advances the adaptation window and adjusts the effective
+// period at each boundary: a storm of PMIs doubles it (shedding sample
+// and interrupt load), sustained calm halves it back toward the base.
+func (u *Unit) tickWindow() {
+	if !u.cfg.AdaptivePeriod {
+		return
+	}
+	u.winEvents++
+	if u.winEvents < u.cfg.AdaptWindow {
+		return
+	}
+	u.winEvents = 0
+	switch {
+	case u.winPMIs >= u.cfg.StormPMIs:
+		max := u.cfg.SamplePeriod << u.cfg.MaxPeriodShift
+		if u.period < max {
+			u.period *= 2
+			if u.period > max {
+				u.period = max
+			}
+			u.stats.Widenings++
+		}
+		u.calm = 0
+	case u.winPMIs == 0 && u.period > u.cfg.SamplePeriod:
+		u.calm++
+		if u.calm >= u.cfg.CalmWindows {
+			u.calm = 0
+			u.period /= 2
+			if u.period < u.cfg.SamplePeriod {
+				u.period = u.cfg.SamplePeriod
+			}
+			u.stats.Narrowings++
+		}
+	default:
+		u.calm = 0
+	}
+	u.winPMIs = 0
 }
 
 // Drain returns all buffered samples and empties the buffer. The returned

@@ -177,6 +177,32 @@ func (e *Engine) StartTicker(period Duration, fn func(now Time)) *Ticker {
 	return t
 }
 
+// Backoff is a capped exponential backoff schedule shared by the retry
+// paths (balloon request re-polls, relocation requeues). Delays double per
+// attempt from Base up to Max.
+type Backoff struct {
+	Base, Max Duration
+}
+
+// Delay returns the wait before retry attempt n (0-based): Base<<n,
+// capped at Max (and guarded against shift overflow).
+func (b Backoff) Delay(attempt int) Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := b.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			return b.Max
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		return b.Max
+	}
+	return d
+}
+
 // Ledger attributes simulated CPU time to named components. The Figure 2
 // scalability study ("cores wasted") divides a ledger total by wall time;
 // the Figure 7 breakdown prints per-component sums.

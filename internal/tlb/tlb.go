@@ -54,14 +54,15 @@ type TLB struct {
 }
 
 // New returns a TLB with the given total entry count and associativity.
-// entries must be a multiple of ways and entries/ways a power of two.
-func New(entries, ways int) *TLB {
+// entries must be a multiple of ways and entries/ways a power of two; a
+// bad geometry is a caller configuration error and returns an error.
+func New(entries, ways int) (*TLB, error) {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
-		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", entries, ways))
+		return nil, fmt.Errorf("tlb: bad geometry %d entries / %d ways", entries, ways)
 	}
 	nsets := entries / ways
 	if nsets&(nsets-1) != 0 {
-		panic(fmt.Sprintf("tlb: set count %d not a power of two", nsets))
+		return nil, fmt.Errorf("tlb: set count %d not a power of two", nsets)
 	}
 	t := &TLB{
 		sets:    make([][]way, nsets),
@@ -72,14 +73,21 @@ func New(entries, ways int) *TLB {
 	for i := range t.sets {
 		t.sets[i] = make([]way, ways)
 	}
-	return t
+	return t, nil
 }
 
 // NewDefault returns a TLB with the default geometry: 16384 entries,
 // 8-way. A hardware STLB has ~2K entries, but guests back large regions
 // with 2 MiB huge pages; the widened reach stands in for THP coverage at
-// the simulator's 4 KiB granularity.
-func NewDefault() *TLB { return New(16384, 8) }
+// the simulator's 4 KiB granularity. The geometry is a known-good
+// constant, so failure here would be an internal invariant violation.
+func NewDefault() *TLB {
+	t, err := New(16384, 8)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
 
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
@@ -146,6 +154,18 @@ func (t *TLB) FlushAll() {
 	for _, set := range t.sets {
 		for i := range set {
 			set[i] = way{}
+		}
+	}
+}
+
+// Scan visits every valid entry (audit/diagnostic use); returning false
+// from fn stops the walk.
+func (t *TLB) Scan(fn func(gvpn, hpfn uint64) bool) {
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid && !fn(set[i].gvpn, set[i].hpfn) {
+				return
+			}
 		}
 	}
 }

@@ -7,8 +7,17 @@ import (
 	"demeter/internal/simrand"
 )
 
+func mustNew(t *testing.T, entries, ways int) *TLB {
+	t.Helper()
+	tl, err := New(entries, ways)
+	if err != nil {
+		t.Fatalf("New(%d,%d): %v", entries, ways, err)
+	}
+	return tl
+}
+
 func TestMissThenHit(t *testing.T) {
-	tl := New(16, 4)
+	tl := mustNew(t, 16, 4)
 	if _, ok := tl.Lookup(100); ok {
 		t.Fatal("hit on empty TLB")
 	}
@@ -24,7 +33,7 @@ func TestMissThenHit(t *testing.T) {
 }
 
 func TestInsertUpdatesInPlace(t *testing.T) {
-	tl := New(16, 4)
+	tl := mustNew(t, 16, 4)
 	tl.Insert(5, 1)
 	tl.Insert(5, 2)
 	hpfn, ok := tl.Lookup(5)
@@ -37,7 +46,7 @@ func TestInsertUpdatesInPlace(t *testing.T) {
 }
 
 func TestEvictionWithinSet(t *testing.T) {
-	tl := New(8, 2) // 4 sets, 2 ways
+	tl := mustNew(t, 8, 2) // 4 sets, 2 ways
 	// Keys 0, 4, 8 all map to set 0. Third insert evicts.
 	tl.Insert(0, 10)
 	tl.Insert(4, 14)
@@ -55,7 +64,7 @@ func TestEvictionWithinSet(t *testing.T) {
 }
 
 func TestFlushSingle(t *testing.T) {
-	tl := New(16, 4)
+	tl := mustNew(t, 16, 4)
 	tl.Insert(3, 30)
 	tl.Insert(4, 40)
 	tl.FlushSingle(3)
@@ -73,7 +82,7 @@ func TestFlushSingle(t *testing.T) {
 }
 
 func TestFlushAll(t *testing.T) {
-	tl := New(64, 4)
+	tl := mustNew(t, 64, 4)
 	for i := uint64(0); i < 32; i++ {
 		tl.Insert(i, i)
 	}
@@ -86,21 +95,16 @@ func TestFlushAll(t *testing.T) {
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
+func TestBadGeometryReturnsError(t *testing.T) {
 	for _, g := range [][2]int{{0, 1}, {7, 2}, {24, 2}, {-8, 2}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%d,%d) did not panic", g[0], g[1])
-				}
-			}()
-			New(g[0], g[1])
-		}()
+		if tl, err := New(g[0], g[1]); err == nil {
+			t.Errorf("New(%d,%d) = %v, want error", g[0], g[1], tl)
+		}
 	}
 }
 
 func TestHitRate(t *testing.T) {
-	tl := New(16, 4)
+	tl := mustNew(t, 16, 4)
 	if tl.Stats().HitRate() != 0 {
 		t.Fatal("idle hit rate should be 0")
 	}
@@ -113,7 +117,7 @@ func TestHitRate(t *testing.T) {
 }
 
 func TestResetStatsKeepsEntries(t *testing.T) {
-	tl := New(16, 4)
+	tl := mustNew(t, 16, 4)
 	tl.Insert(1, 1)
 	tl.Lookup(1)
 	tl.ResetStats()
@@ -179,7 +183,10 @@ func TestFullFlushCausesMissStorm(t *testing.T) {
 
 func TestPropertyLookupNeverReturnsStaleAfterFlush(t *testing.T) {
 	err := quick.Check(func(keys []uint16) bool {
-		tl := New(64, 4)
+		tl, err := New(64, 4)
+		if err != nil {
+			return false
+		}
 		for _, k := range keys {
 			tl.Insert(uint64(k), uint64(k)+1)
 			tl.FlushSingle(uint64(k))

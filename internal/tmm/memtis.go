@@ -204,7 +204,7 @@ func (p *Memtis) round() {
 	ci := 0
 	for fastNode.FreeFrames() < uint64(len(hot)) && ci < len(coldFast) {
 		if gvpn, ok := gvaOf[coldFast[ci]]; ok {
-			if cost, moved := vm.MigrateGuestPage(gvpn, 1); moved {
+			if cost, err := vm.MigrateGuestPage(gvpn, 1); err == nil {
 				migrateCost += cost
 				p.stats.Demoted++
 			}
@@ -216,7 +216,7 @@ func (p *Memtis) round() {
 		if !ok {
 			continue
 		}
-		if cost, moved := vm.MigrateGuestPage(gvpn, 0); moved {
+		if cost, err := vm.MigrateGuestPage(gvpn, 0); err == nil {
 			migrateCost += cost
 			p.stats.Promoted++
 		}

@@ -118,9 +118,10 @@ func (p *Nomad) hintFault(gvpn uint64) sim.Duration {
 		return cost
 	}
 	e.ClearHint()
-	mCost, ok := vm.MigrateGuestPage(gvpn, 0)
-	if !ok {
+	mCost, mErr := vm.MigrateGuestPage(gvpn, 0)
+	if mErr != nil {
 		p.stats.FailedPromotions++
+		cost += mCost
 		vm.Ledger.Charge(CompMigrate, cost)
 		return cost
 	}
@@ -210,7 +211,7 @@ func (p *Nomad) round() {
 				continue
 			}
 		}
-		if cost, ok := vm.MigrateGuestPage(gvpn, 1); ok {
+		if cost, err := vm.MigrateGuestPage(gvpn, 1); err == nil {
 			migrateCost += cost
 			p.stats.Demoted++
 			moved++
@@ -266,8 +267,8 @@ func (p *Nomad) markPass() {
 // flush costs (no copy: the shadow already holds the data).
 func (p *Nomad) demoteToShadow(gvpn uint64) (sim.Duration, bool) {
 	vm := p.vm
-	cost, ok := vm.MigrateGuestPage(gvpn, 1)
-	if !ok {
+	cost, err := vm.MigrateGuestPage(gvpn, 1)
+	if err != nil {
 		return 0, false
 	}
 	// Refund the copy: the shadow already held the bytes.

@@ -119,8 +119,9 @@ func (p *TPP) hintFault(gvpn uint64) sim.Duration {
 	}
 	e.ClearHint()
 	p.HintFaults++
-	if mCost, ok := vm.MigrateGuestPage(gvpn, 0); ok {
-		cost += mCost
+	mCost, err := vm.MigrateGuestPage(gvpn, 0)
+	cost += mCost // failed attempts still burn the work already done
+	if err == nil {
 		p.stats.Promoted++
 	} else {
 		p.stats.FailedPromotions++
@@ -250,12 +251,12 @@ func (p *TPP) demote(coldFast []uint64) {
 	moved := 0
 	ci := 0
 	for fastNode.FreeFrames() < target && ci < len(coldFast) && moved < p.Cfg.MigrationBatch {
-		cost, ok := vm.MigrateGuestPage(coldFast[ci], 1)
+		cost, err := vm.MigrateGuestPage(coldFast[ci], 1)
 		ci++
-		if !ok {
+		migrateCost += cost
+		if err != nil {
 			continue
 		}
-		migrateCost += cost
 		p.stats.Demoted++
 		moved++
 	}
