@@ -1,7 +1,6 @@
 package demeter_test
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
@@ -25,11 +24,16 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	s := experiments.Quick()
+	var out string
 	for i := 0; i < b.N; i++ {
-		out := e.Run(s)
-		if _, done := printOnce.LoadOrStore(id, true); !done {
-			fmt.Printf("\n===== %s: %s =====\n%s\n", e.ID, e.Title, out)
-		}
+		out = e.Run(s)
+	}
+	// Report outside the timed region, through the framework so output
+	// stays attached to its benchmark instead of interleaving mid-run;
+	// once per experiment across the size ramp-up reruns.
+	b.StopTimer()
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		b.Logf("\n===== %s: %s =====\n%s", e.ID, e.Title, out)
 	}
 }
 

@@ -3,33 +3,66 @@
 //
 // Usage:
 //
-//	demeter-sim list                 # show available experiments
-//	demeter-sim table1               # run one experiment
-//	demeter-sim all                  # run everything
-//	demeter-sim -scale tiny figure2  # quick smoke run
-//	demeter-sim -tier cxl figure10   # override the slow tier where applicable
-//	demeter-sim -scale tiny chaos    # fault-injection run with invariant checks
+//	demeter-sim list                      # show available experiments
+//	demeter-sim table1                    # run one experiment
+//	demeter-sim run                       # run everything
+//	demeter-sim run -only figure2,table1  # run a subset
+//	demeter-sim run -skip figure8         # run everything but
+//	demeter-sim -parallel 0 run           # fan out across all cores
+//	demeter-sim -scale tiny figure2       # quick smoke run
+//	demeter-sim -scale tiny chaos         # fault-injection run with invariant checks
+//	demeter-sim bench -quick              # regression numbers → BENCH_results.json
+//	demeter-sim -cpuprofile cpu.pprof figure7
+//
+// Reports are byte-identical at every -parallel setting: experiments fan
+// out into independent deterministic cluster runs and the reports are
+// assembled in a fixed order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
 	"time"
 
 	"demeter/internal/experiments"
 	"demeter/internal/fault"
+	"demeter/internal/hypervisor"
+	"demeter/internal/mem"
+	"demeter/internal/sim"
+	"demeter/internal/workload"
+)
+
+var (
+	scaleFlag  = flag.String("scale", "quick", "experiment scale: quick or tiny")
+	vms        = flag.Int("vms", 0, "override concurrent VM count (0 = scale default)")
+	parallel   = flag.Int("parallel", 1, "concurrent cluster runs (0 = all cores, 1 = sequential)")
+	only       = flag.String("only", "", "comma-separated experiment ids to run (run/bench)")
+	skip       = flag.String("skip", "", "comma-separated experiment ids to exclude (run/bench)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	quick      = flag.Bool("quick", false, "bench: tiny scale and a representative experiment subset")
+	benchOut   = flag.String("out", "BENCH_results.json", "bench: output path")
+	faults     = flag.String("faults", "", "chaos fault schedule, e.g. 'migrate.copy-fail=0.05,balloon.op-timeout=0.2' (empty = every point at its default rate)")
+	faultSeed  = flag.Uint64("fault-seed", 1, "chaos fault injector seed (same seed + schedule = identical run)")
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or tiny")
-	vms := flag.Int("vms", 0, "override concurrent VM count (0 = scale default)")
-	faults := flag.String("faults", "", "chaos fault schedule, e.g. 'migrate.copy-fail=0.05,balloon.op-timeout=0.2' (empty = every point at its default rate)")
-	faultSeed := flag.Uint64("fault-seed", 1, "chaos fault injector seed (same seed + schedule = identical run)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	// Accept flags on either side of the subcommand: demeter-sim bench
+	// -quick parses the trailing flags here.
+	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
 		os.Exit(2)
 	}
 
@@ -46,8 +79,26 @@ func main() {
 	if *vms > 0 {
 		scale.VMs = *vms
 	}
+	workers := experiments.SetParallelism(*parallel)
 
-	switch arg := flag.Arg(0); arg {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile()
+
+	switch cmd {
 	case "list":
 		for _, e := range experiments.All() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
@@ -55,26 +106,230 @@ func main() {
 		fmt.Printf("%-22s %s\n", "chaos", "Fault-injection ladder with end-of-run invariant checks")
 	case "chaos":
 		runChaos(scale, *faults, *faultSeed)
-	case "all":
-		for _, e := range experiments.All() {
-			runOne(e, scale)
-		}
-	default:
-		e, ok := experiments.Get(arg)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'demeter-sim list')\n", arg)
+	case "run", "all":
+		es, err := selectExperiments(*only, *skip)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(2)
 		}
-		runOne(e, scale)
+		runSuite(es, scale, workers)
+	case "bench":
+		if err := runBench(scale, workers); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		e, ok := experiments.Get(cmd)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'demeter-sim list')\n", cmd)
+			os.Exit(2)
+		}
+		runSuite([]experiments.Experiment{e}, scale, workers)
 	}
 }
 
-func runOne(e experiments.Experiment, s experiments.Scale) {
-	fmt.Printf("=== %s: %s\n", e.ID, e.Title)
-	fmt.Printf("    scale: %s, VMs: %d\n\n", s.Name, s.VMs)
+// selectExperiments applies the -only / -skip filters to the registry.
+func selectExperiments(only, skip string) ([]experiments.Experiment, error) {
+	all := experiments.All()
+	byID := make(map[string]experiments.Experiment, len(all))
+	for _, e := range all {
+		byID[e.ID] = e
+	}
+	var es []experiments.Experiment
+	if only != "" {
+		for _, id := range splitIDs(only) {
+			e, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("-only: unknown experiment %q (try 'demeter-sim list')", id)
+			}
+			es = append(es, e)
+		}
+	} else {
+		es = all
+	}
+	if skip != "" {
+		drop := map[string]bool{}
+		for _, id := range splitIDs(skip) {
+			if _, ok := byID[id]; !ok {
+				return nil, fmt.Errorf("-skip: unknown experiment %q (try 'demeter-sim list')", id)
+			}
+			drop[id] = true
+		}
+		kept := es[:0]
+		for _, e := range es {
+			if !drop[e.ID] {
+				kept = append(kept, e)
+			}
+		}
+		es = kept
+	}
+	if len(es) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return es, nil
+}
+
+func splitIDs(s string) []string {
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.ToLower(strings.TrimSpace(id)); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func runSuite(es []experiments.Experiment, s experiments.Scale, workers int) {
 	start := time.Now()
-	fmt.Println(e.Run(s))
-	fmt.Printf("(completed in %.1fs)\n\n", time.Since(start).Seconds())
+	reports := experiments.RunExperiments(s, es)
+	for _, r := range reports {
+		fmt.Printf("=== %s: %s\n", r.ID, r.Title)
+		fmt.Printf("    scale: %s, VMs: %d\n\n", s.Name, s.VMs)
+		fmt.Println(r.Output)
+		fmt.Printf("(completed in %.1fs)\n\n", r.Elapsed.Seconds())
+	}
+	if len(es) > 1 {
+		fmt.Printf("suite: %d experiments in %.1fs wall (%d workers)\n",
+			len(es), time.Since(start).Seconds(), workers)
+	}
+}
+
+// accessPathBaselineNs is the pre-optimization BenchmarkAccessPath result
+// recorded before the fast-path work, the regression reference for the
+// microbenchmark in every BENCH_results.json.
+const accessPathBaselineNs = 87.30
+
+// quickBenchIDs is the representative subset 'bench -quick' measures: the
+// cheapest experiments that together cover the single-VM path, the
+// multi-VM grid, provisioning and the heat-map loop.
+var quickBenchIDs = "table1,table2,figure2,figure4,figure6"
+
+type benchExperiment struct {
+	ID              string  `json:"id"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Accesses        uint64  `json:"accesses"`
+	AccessesPerSec  float64 `json:"accesses_per_sec"`
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+}
+
+type benchReport struct {
+	Scale       string `json:"scale"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Workers     int    `json:"workers"`
+	Timestamp   string `json:"timestamp"`
+	AccessPath  struct {
+		NsPerOp         float64 `json:"ns_per_op"`
+		AllocsPerOp     int64   `json:"allocs_per_op"`
+		BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+		SpeedupVsBase   float64 `json:"speedup_vs_baseline"`
+	} `json:"access_path"`
+	Experiments      []benchExperiment `json:"experiments"`
+	SuiteWallSeconds float64           `json:"suite_wall_seconds"`
+}
+
+// runBench measures the access-path microbenchmark plus per-experiment
+// wall time, simulated-access throughput and allocation rate, and writes
+// the regression record to -out.
+func runBench(s experiments.Scale, workers int) error {
+	onlyIDs, skipIDs := *only, *skip
+	if *quick {
+		s = experiments.Tiny()
+		if onlyIDs == "" {
+			onlyIDs = quickBenchIDs
+		}
+	}
+	es, err := selectExperiments(onlyIDs, skipIDs)
+	if err != nil {
+		return err
+	}
+
+	rep := benchReport{
+		Scale:      s.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Printf("bench: access-path microbenchmark...\n")
+	micro := testing.Benchmark(benchmarkAccessPath)
+	rep.AccessPath.NsPerOp = float64(micro.T.Nanoseconds()) / float64(micro.N)
+	rep.AccessPath.AllocsPerOp = micro.AllocsPerOp()
+	rep.AccessPath.BaselineNsPerOp = accessPathBaselineNs
+	rep.AccessPath.SpeedupVsBase = accessPathBaselineNs / rep.AccessPath.NsPerOp
+	fmt.Printf("bench: access path %.2f ns/op, %d allocs/op (baseline %.2f ns/op, %.2fx)\n",
+		rep.AccessPath.NsPerOp, rep.AccessPath.AllocsPerOp,
+		accessPathBaselineNs, rep.AccessPath.SpeedupVsBase)
+
+	suiteStart := time.Now()
+	for _, e := range es {
+		experiments.TakeBenchAccesses()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		e.Run(s)
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		accesses := experiments.TakeBenchAccesses()
+		r := benchExperiment{ID: e.ID, WallSeconds: wall, Accesses: accesses}
+		if wall > 0 {
+			r.AccessesPerSec = float64(accesses) / wall
+		}
+		if accesses > 0 {
+			r.AllocsPerAccess = float64(after.Mallocs-before.Mallocs) / float64(accesses)
+		}
+		rep.Experiments = append(rep.Experiments, r)
+		fmt.Printf("bench: %-22s %7.2fs  %11d accesses  %10.3g acc/s  %.4f allocs/acc\n",
+			e.ID, r.WallSeconds, r.Accesses, r.AccessesPerSec, r.AllocsPerAccess)
+	}
+	rep.SuiteWallSeconds = time.Since(suiteStart).Seconds()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s (%d experiments, %.1fs)\n", *benchOut, len(es), rep.SuiteWallSeconds)
+	return nil
+}
+
+// benchmarkAccessPath mirrors internal/engine's BenchmarkAccessPath so the
+// bench subcommand tracks the same hot path the CI smoke job measures.
+func benchmarkAccessPath(b *testing.B) {
+	eng := sim.NewEngine()
+	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(22000, 110000))
+	vm, _ := m.NewVM(hypervisor.VMConfig{VCPUs: 4, GuestFMEM: 22000, GuestSMEM: 110000, FMEMBacking: 0, SMEMBacking: 1})
+	wl := workload.NewGUPS(114688, 1<<40, 1)
+	wl.Setup(vm.Proc)
+	buf := make([]workload.Access, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n, _ := wl.Fill(buf)
+		for i := 0; i < n && done < b.N; i++ {
+			vm.Access(buf[i].GVA, buf[i].Write)
+			done++
+		}
+	}
+}
+
+func writeMemProfile() {
+	if *memprofile == "" {
+		return
+	}
+	f, err := os.Create(*memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
 }
 
 // runChaos runs the fault-injection ladder and exits nonzero when an
@@ -105,9 +360,16 @@ func runChaos(s experiments.Scale, spec string, seed uint64) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `demeter-sim — Demeter (SOSP'25) reproduction harness
 
-usage: demeter-sim [flags] <experiment-id | list | all>
+usage: demeter-sim [flags] <experiment-id | list | run | bench | chaos>
 
-flags:
+subcommands:
+  list    show available experiments
+  run     run the suite (filter with -only/-skip, fan out with -parallel)
+  bench   write regression numbers to BENCH_results.json (-quick for CI)
+  chaos   fault-injection ladder with end-of-run invariant checks
+  <id>    run one experiment
+
+flags (accepted before or after the subcommand):
 `)
 	flag.PrintDefaults()
 }

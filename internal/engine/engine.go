@@ -48,6 +48,7 @@ type Executor struct {
 
 	eng        *sim.Engine
 	buf        []workload.Access
+	sliceFn    func() // x.slice, bound once: After(…, x.slice) would allocate per activation
 	txnSize    int
 	initOps    uint64
 	opsDone    uint64
@@ -85,7 +86,8 @@ func (x *Executor) Start() {
 	x.started = true
 	x.startedAt = x.eng.Now()
 	x.buf = make([]workload.Access, x.BatchSize)
-	x.eng.After(0, x.slice)
+	x.sliceFn = x.slice
+	x.eng.After(0, x.sliceFn)
 }
 
 // OpsDone returns the number of accesses executed so far.
@@ -187,7 +189,7 @@ func (x *Executor) slice() {
 	if elapsed < 1 {
 		elapsed = 1
 	}
-	x.eng.After(elapsed, x.slice)
+	x.eng.After(elapsed, x.sliceFn)
 }
 
 func (x *Executor) txnHistActive() bool { return x.TxnHist != nil && x.txnSize > 0 }

@@ -26,12 +26,16 @@ func init() {
 // Demeter (guest PEBS); the report shows runtimes, full-flush volume and
 // the fixed-frequency VM exits only PML incurs.
 func AblationPML(s Scale) string {
-	tb := stats.NewTable("Ablation: write-tracking source (3 VMs, GUPS)",
-		"Design", "Avg runtime (s)", "Full flushes", "Host CPU (s)")
-	for _, d := range []string{"vtmm", "tpp-h", "demeter"} {
-		res := s.RunCluster(d, 3, func(vmID int) workload.Workload {
+	designs := []string{"vtmm", "tpp-h", "demeter"}
+	results := runIndexed(len(designs), func(i int) ClusterResult {
+		return s.RunCluster(designs[i], 3, func(vmID int) workload.Workload {
 			return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1)
 		}, clusterOptions{})
+	})
+	tb := stats.NewTable("Ablation: write-tracking source (3 VMs, GUPS)",
+		"Design", "Avg runtime (s)", "Full flushes", "Host CPU (s)")
+	for i, d := range designs {
+		res := results[i]
 		tb.AddRow(d, fmt.Sprintf("%.3f", res.AvgRuntime()),
 			res.TLB.FullFlushes, fmt.Sprintf("%.3f", res.HostCPU.Sum().Seconds()))
 	}
@@ -45,13 +49,16 @@ func AblationPML(s Scale) string {
 // region adaptation track far more slowly than gVA PEBS feeding the range
 // tree.
 func AblationDAMON(s Scale) string {
-	tb := stats.NewTable("Ablation: guest-side classification scheme (3 VMs, GUPS)",
-		"Design", "Avg runtime (s)", "Single flushes")
-	for _, d := range []string{"damon", "demeter"} {
-		res := s.RunCluster(d, 3, func(vmID int) workload.Workload {
+	designs := []string{"damon", "demeter"}
+	results := runIndexed(len(designs), func(i int) ClusterResult {
+		return s.RunCluster(designs[i], 3, func(vmID int) workload.Workload {
 			return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1)
 		}, clusterOptions{})
-		tb.AddRow(d, fmt.Sprintf("%.3f", res.AvgRuntime()), res.TLB.SingleFlushes)
+	})
+	tb := stats.NewTable("Ablation: guest-side classification scheme (3 VMs, GUPS)",
+		"Design", "Avg runtime (s)", "Single flushes")
+	for i, d := range designs {
+		tb.AddRow(d, fmt.Sprintf("%.3f", results[i].AvgRuntime()), results[i].TLB.SingleFlushes)
 	}
 	return tb.String() +
 		"\nExpected: DAMON improves on static placement but cannot match\n" +
@@ -74,17 +81,23 @@ func init() {
 // ranges and relocation work for little gain on hotspot workloads whose
 // hot runs are much larger than a hugepage.
 func AblationGranularity(s Scale) string {
-	tb := stats.NewTable("Ablation: split granularity (3 VMs, GUPS)",
-		"Granularity (pages)", "Avg runtime (s)", "Migrate CPU (s)", "Classify CPU (s)")
+	var grans []uint64
 	for _, g := range []uint64{s.Granularity * 4, s.Granularity, s.Granularity / 4, s.Granularity / 16} {
-		if g == 0 {
-			continue
+		if g != 0 {
+			grans = append(grans, g)
 		}
+	}
+	results := runIndexed(len(grans), func(i int) ClusterResult {
 		sg := s
-		sg.Granularity = g
-		res := sg.RunCluster("demeter", 3, func(vmID int) workload.Workload {
+		sg.Granularity = grans[i]
+		return sg.RunCluster("demeter", 3, func(vmID int) workload.Workload {
 			return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1)
 		}, clusterOptions{})
+	})
+	tb := stats.NewTable("Ablation: split granularity (3 VMs, GUPS)",
+		"Granularity (pages)", "Avg runtime (s)", "Migrate CPU (s)", "Classify CPU (s)")
+	for i, g := range grans {
+		res := results[i]
 		tb.AddRow(g, fmt.Sprintf("%.3f", res.AvgRuntime()),
 			fmt.Sprintf("%.4f", res.GuestCPU.Total("migrate").Seconds()),
 			fmt.Sprintf("%.4f", res.GuestCPU.Total("classify").Seconds()))

@@ -71,13 +71,19 @@ func RunChaos(s Scale, cfg ChaosConfig) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Chaos: %d VMs under schedule %q, seed %d\n\n", cfg.VMs, cfg.Schedule.String(), cfg.Seed)
 
-	var rungs []chaosRung
+	// Each rung is an independent leaf run: its own engine and its own
+	// injector seeded identically, so the fault stream at rung i does not
+	// depend on which rungs ran before (or concurrently with) it. The
+	// baseline ratio and floor check are derived after collection.
+	rungs := runIndexed(len(cfg.Ladder), func(i int) chaosRung {
+		return runChaosRung(s, cfg, cfg.Ladder[i])
+	})
+
 	var failures []string
-	for _, mult := range cfg.Ladder {
-		r := runChaosRung(s, cfg, mult)
-		if len(rungs) > 0 && rungs[0].thpt > 0 {
-			base := rungs[0].thpt
-			ratio := r.thpt / base
+	for i := range rungs {
+		r := &rungs[i]
+		if i > 0 && rungs[0].thpt > 0 {
+			ratio := r.thpt / rungs[0].thpt
 			r.report += fmt.Sprintf("  throughput vs baseline: %.2fx\n", ratio)
 			if ratio < cfg.Floor {
 				r.errs = append(r.errs, fmt.Sprintf("throughput %.2fx below floor %.2fx", ratio, cfg.Floor))
@@ -88,10 +94,9 @@ func RunChaos(s Scale, cfg ChaosConfig) (string, error) {
 		} else {
 			for _, e := range r.errs {
 				r.report += fmt.Sprintf("  INVARIANT VIOLATED: %s\n", e)
-				failures = append(failures, fmt.Sprintf("x%g: %s", mult, e))
+				failures = append(failures, fmt.Sprintf("x%g: %s", r.mult, e))
 			}
 		}
-		rungs = append(rungs, r)
 		b.WriteString(r.report)
 		b.WriteByte('\n')
 	}

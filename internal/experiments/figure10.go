@@ -34,14 +34,21 @@ func realWorkloads(s Scale, tier string, includeHypervisor bool) string {
 	headers := append([]string{"Workload"}, designs...)
 	tb := stats.NewTable(title, headers...)
 
+	// One leaf job per (workload, design) grid cell.
+	cells := runIndexed(len(Apps)*len(designs), func(k int) float64 {
+		app := Apps[k/len(designs)]
+		d := designs[k%len(designs)]
+		res := s.RunCluster(d, s.VMs, func(vmID int) workload.Workload {
+			return s.NewApp(app, uint64(vmID)+1)
+		}, clusterOptions{tier: tier})
+		return res.AvgRuntime()
+	})
+
 	runtimes := map[string][]float64{} // design → per-app runtimes
-	for _, app := range Apps {
+	for ai, app := range Apps {
 		row := []interface{}{app}
-		for _, d := range designs {
-			res := s.RunCluster(d, s.VMs, func(vmID int) workload.Workload {
-				return s.NewApp(app, uint64(vmID)+1)
-			}, clusterOptions{tier: tier})
-			rt := res.AvgRuntime()
+		for di, d := range designs {
+			rt := cells[ai*len(designs)+di]
 			runtimes[d] = append(runtimes[d], rt)
 			row = append(row, fmt.Sprintf("%.3f", rt))
 		}

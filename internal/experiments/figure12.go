@@ -23,13 +23,17 @@ func Figure12(s Scale) string {
 	const nVMs = 5
 	qs := []float64{0.50, 0.90, 0.95, 0.99}
 
+	results := runIndexed(len(GuestDesigns), func(i int) ClusterResult {
+		return s.RunCluster(GuestDesigns[i], nVMs, func(vmID int) workload.Workload {
+			return s.NewApp("silo", uint64(vmID)+1)
+		}, clusterOptions{txnLatency: true})
+	})
+
 	tb := stats.NewTable("Figure 12: Silo YCSB transaction latency percentiles (µs)",
 		"Design", "p50", "p90", "p95", "p99", "mean")
 	p99 := map[string]float64{}
-	for _, d := range GuestDesigns {
-		res := s.RunCluster(d, nVMs, func(vmID int) workload.Workload {
-			return s.NewApp("silo", uint64(vmID)+1)
-		}, clusterOptions{txnLatency: true})
+	for i, d := range GuestDesigns {
+		res := results[i]
 		row := []interface{}{d}
 		for _, q := range qs {
 			v := res.TxnHist.Quantile(q) / 1000 // ns → µs

@@ -58,16 +58,16 @@ func Figure6(s Scale) string {
 		{name: "demeter-balloon+demeter", design: "demeter", setup: demeterSetup, fullCapacityNodes: true},
 	}
 
+	thpts := runIndexed(len(schemes), func(i int) float64 {
+		return runProvisioned(s, schemes[i])
+	})
+
 	tb := stats.NewTable("Figure 6: average GUPS throughput by provisioning technique (9 VMs)",
 		"Provisioning", "Throughput (ops/s)", "vs static")
-	var staticThpt float64
+	staticThpt := thpts[0] // static+tpp is the first scheme
 	report := ""
-	for _, scheme := range schemes {
-		thpt := runProvisioned(s, scheme)
-		if scheme.name == "static+tpp" {
-			staticThpt = thpt
-		}
-		tb.AddRow(scheme.name, fmt.Sprintf("%.3g", thpt), fmt.Sprintf("%.2fx", thpt/staticThpt))
+	for i, scheme := range schemes {
+		tb.AddRow(scheme.name, fmt.Sprintf("%.3g", thpts[i]), fmt.Sprintf("%.2fx", thpts[i]/staticThpt))
 	}
 	report += tb.String()
 	report += "\nPaper shape: Demeter balloon ≈ static; VirtIO balloon (+TPP) far\n" +

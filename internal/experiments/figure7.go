@@ -38,14 +38,18 @@ func runGUPSNine(s Scale, design string, sampleEvery int64) ClusterResult {
 // TPP/Nomad pay heavy scan costs; Demeter's migration is ~28% of TPP's
 // while moving more hot data.
 func Figure7(s Scale) string {
+	results := runIndexed(len(GuestDesigns), func(i int) ClusterResult {
+		return runGUPSNine(s, GuestDesigns[i], 0)
+	})
+
 	tb := stats.NewTable("Figure 7: TMM overhead breakdown (CPU seconds, summed over 9 VMs)",
 		"Design", "Track", "Classify", "Migrate", "Total", "Runtime (s)")
 	type row struct {
 		track, migrate float64
 	}
 	rows := map[string]row{}
-	for _, d := range GuestDesigns {
-		res := runGUPSNine(s, d, 0)
+	for i, d := range GuestDesigns {
+		res := results[i]
 		track := res.GuestCPU.Total("track").Seconds()
 		classify := res.GuestCPU.Total("classify").Seconds()
 		migrate := res.GuestCPU.Total("migrate").Seconds()
@@ -79,9 +83,12 @@ func Figure8(s Scale) string {
 		peak     float64
 		rampTime float64 // time to reach 80% of peak
 	}
+	results := runIndexed(len(GuestDesigns), func(i int) ClusterResult {
+		return runGUPSNine(s, GuestDesigns[i], 1)
+	})
 	summaries := map[string]summary{}
-	for _, d := range GuestDesigns {
-		res := runGUPSNine(s, d, 1)
+	for i, d := range GuestDesigns {
+		res := results[i]
 		series := res.Series.Smoothed(0.3)
 		var peak float64
 		for _, v := range series.Values {

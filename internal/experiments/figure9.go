@@ -76,45 +76,66 @@ func Figure9(s Scale) string {
 	out += fmt.Sprintf("defaults at this scale: sample period %d, latency threshold 64ns,\n", s.SamplePeriod)
 	out += fmt.Sprintf("split period %v, split threshold 15 (paper defaults: 4093/64ns/500ms/15)\n\n", s.EpochPeriod)
 
+	// The four one-dimensional sweeps are 24 independent cluster runs;
+	// flatten them into one fan-out and assemble the tables afterward.
+	type point struct {
+		sweep int
+		label interface{}
+		cfg   core.Config
+	}
+	var points []point
+
 	// Sweep 1: PEBS sample period (paper sweeps 64ns..16µs-scale periods).
-	tb := stats.NewTable("Sample period sweep", "Period", "Runtime (s)")
 	for _, mul := range []float64{0.25, 0.5, 1, 2, 8, 32} {
 		cfg := base()
 		cfg.SamplePeriod = uint64(float64(s.SamplePeriod) * mul)
 		if cfg.SamplePeriod == 0 {
 			cfg.SamplePeriod = 1
 		}
-		tb.AddRow(cfg.SamplePeriod, fmt.Sprintf("%.3f", runDemeterWith(s, nVMs, cfg)))
+		points = append(points, point{sweep: 0, label: cfg.SamplePeriod, cfg: cfg})
 	}
-	out += tb.String() + "\n"
-
 	// Sweep 2: load-latency threshold. Beyond the slow tier's latency no
 	// access qualifies and classification starves.
-	tb = stats.NewTable("Latency threshold sweep", "Threshold (ns)", "Runtime (s)")
 	for _, thr := range []sim.Duration{30, 64, 128, 300, 950, 1200} {
 		cfg := base()
 		cfg.LatencyThreshold = thr
-		tb.AddRow(int64(thr), fmt.Sprintf("%.3f", runDemeterWith(s, nVMs, cfg)))
+		points = append(points, point{sweep: 1, label: int64(thr), cfg: cfg})
 	}
-	out += tb.String() + "\n"
-
 	// Sweep 3: split period (t_split).
-	tb = stats.NewTable("Split period sweep", "t_split", "Runtime (s)")
 	for _, mul := range []float64{0.2, 0.5, 1, 2, 5, 10} {
 		cfg := base()
 		cfg.EpochPeriod = sim.Duration(float64(s.EpochPeriod) * mul)
-		tb.AddRow(cfg.EpochPeriod.String(), fmt.Sprintf("%.3f", runDemeterWith(s, nVMs, cfg)))
+		points = append(points, point{sweep: 2, label: cfg.EpochPeriod.String(), cfg: cfg})
 	}
-	out += tb.String() + "\n"
-
 	// Sweep 4: split threshold (τ_split).
-	tb = stats.NewTable("Split threshold sweep", "τ_split", "Runtime (s)")
 	for _, tau := range []float64{1, 3, 7, 15, 17, 40} {
 		cfg := base()
 		cfg.Params.SplitThreshold = tau
-		tb.AddRow(tau, fmt.Sprintf("%.3f", runDemeterWith(s, nVMs, cfg)))
+		points = append(points, point{sweep: 3, label: tau, cfg: cfg})
 	}
-	out += tb.String()
+
+	runtimes := runIndexed(len(points), func(i int) float64 {
+		return runDemeterWith(s, nVMs, points[i].cfg)
+	})
+
+	titles := []struct{ title, col string }{
+		{"Sample period sweep", "Period"},
+		{"Latency threshold sweep", "Threshold (ns)"},
+		{"Split period sweep", "t_split"},
+		{"Split threshold sweep", "τ_split"},
+	}
+	for sw, t := range titles {
+		tb := stats.NewTable(t.title, t.col, "Runtime (s)")
+		for i, p := range points {
+			if p.sweep == sw {
+				tb.AddRow(p.label, fmt.Sprintf("%.3f", runtimes[i]))
+			}
+		}
+		out += tb.String()
+		if sw < len(titles)-1 {
+			out += "\n"
+		}
+	}
 	out += "\nPaper shape: stable plateau around the defaults; degradation only at\n" +
 		"extreme values (large periods/thresholds slow or starve classification).\n"
 	return out

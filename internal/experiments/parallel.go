@@ -1,0 +1,127 @@
+// Parallel execution layer. Every experiment decomposes into independent
+// leaf runs — one cluster per policy row, series point or ladder rung —
+// and each leaf owns its own sim.Engine, fault injector and random
+// sources, sharing no mutable state with its siblings (the fault and
+// experiment registries are written only during package init). That makes
+// fan-out safe exactly the way Virtuoso's and gem5's parallel simulation
+// campaigns are safe: each instance is seed-deterministic, so results are
+// identical no matter where or when the instance executes. Reports are
+// assembled in slice order and all cross-row derivations (baselines,
+// ratios, geomeans) happen after collection, so parallel output is
+// byte-identical to sequential output.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workerTokens is the global leaf-run semaphore; nil means sequential.
+// Only leaf jobs acquire tokens — the per-experiment coordinators in
+// RunExperiments are token-free — so nested fan-out cannot deadlock.
+var workerTokens atomic.Pointer[chan struct{}]
+
+// SetParallelism configures the worker pool for subsequent runs: n > 1
+// enables up to n concurrent leaf cluster runs, n == 1 restores strictly
+// sequential execution, and n <= 0 selects runtime.NumCPU(). It returns
+// the effective worker count. Call it before starting runs, not while
+// experiments are executing.
+func SetParallelism(n int) int {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	if n == 1 {
+		workerTokens.Store(nil)
+		return 1
+	}
+	ch := make(chan struct{}, n)
+	workerTokens.Store(&ch)
+	return n
+}
+
+// Parallelism reports the configured worker count (1 = sequential).
+func Parallelism() int {
+	if p := workerTokens.Load(); p != nil {
+		return cap(*p)
+	}
+	return 1
+}
+
+// runIndexed executes n independent leaf jobs and returns their results
+// in index order. With parallelism enabled every job runs on its own
+// goroutine gated by the worker semaphore; otherwise jobs run inline in
+// index order. Jobs must be self-contained cluster runs: they own their
+// engine and share no mutable state, which is what makes the two modes
+// produce identical results.
+func runIndexed[T any](n int, job func(i int) T) []T {
+	out := make([]T, n)
+	tokens := workerTokens.Load()
+	if tokens == nil {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			*tokens <- struct{}{}
+			defer func() { <-*tokens }()
+			out[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// benchAccesses tallies guest memory accesses at the audit chokepoint
+// every run passes through on teardown; the bench harness reads it to
+// report accesses/sec per experiment.
+var benchAccesses atomic.Uint64
+
+// TakeBenchAccesses returns the accesses accumulated since the last call
+// and resets the tally.
+func TakeBenchAccesses() uint64 { return benchAccesses.Swap(0) }
+
+// Report is one experiment's rendered output plus its wall time.
+type Report struct {
+	ID      string
+	Title   string
+	Output  string
+	Elapsed time.Duration
+}
+
+// RunExperiments executes the given experiments and returns reports in
+// input order. With parallelism enabled the experiments run concurrently
+// (each coordinator goroutine is token-free; the leaf cluster runs inside
+// each experiment contend for the worker pool), otherwise strictly in
+// order. Either way Output is identical: every experiment is
+// deterministic given s.
+func RunExperiments(s Scale, es []Experiment) []Report {
+	reports := make([]Report, len(es))
+	runOne := func(i int) {
+		start := time.Now()
+		out := es[i].Run(s)
+		reports[i] = Report{ID: es[i].ID, Title: es[i].Title, Output: out, Elapsed: time.Since(start)}
+	}
+	if workerTokens.Load() == nil {
+		for i := range es {
+			runOne(i)
+		}
+		return reports
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(es))
+	for i := range es {
+		go func(i int) {
+			defer wg.Done()
+			runOne(i)
+		}(i)
+	}
+	wg.Wait()
+	return reports
+}

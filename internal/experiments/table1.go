@@ -28,15 +28,22 @@ func Table1(s Scale) string {
 	smem := footprint // room for the slow-resident remainder
 	ops := s.GUPSOps * 4
 
-	tb := stats.NewTable("Table 1: TLB flush comparison (GUPS, single large VM)",
-		"Design", "TLB Flush (Single)", "TLB Flush (Full)", "Elapsed", "vs G-TPP")
-	var gtppSec float64
-	for _, design := range []string{"tpp-h", "tpp", "demeter"} {
+	designs := []string{"tpp-h", "tpp", "demeter"}
+	results := runIndexed(len(designs), func(i int) ClusterResult {
 		big := s
 		big.VMFMEM, big.VMSMEM = fmem, smem
-		res := big.RunCluster(design, 1, func(int) workload.Workload {
+		return big.RunCluster(designs[i], 1, func(int) workload.Workload {
 			return workload.NewGUPS(footprint, ops, 1)
 		}, clusterOptions{})
+	})
+
+	tb := stats.NewTable("Table 1: TLB flush comparison (GUPS, single large VM)",
+		"Design", "TLB Flush (Single)", "TLB Flush (Full)", "Elapsed", "vs G-TPP")
+	// The ratio column tracks the sequential presentation: rows before the
+	// G-TPP row print "-" because its baseline is not yet established.
+	var gtppSec float64
+	for i, design := range designs {
+		res := results[i]
 		elapsed := res.Runtimes[0].Seconds()
 		if design == "tpp" {
 			gtppSec = elapsed

@@ -68,20 +68,22 @@ func MeasureTierLatency(tier string, node int) sim.Duration {
 // medium (measured through the simulator) and the configured stream
 // bandwidths, alongside the paper's measured values.
 func Table2(Scale) string {
+	probes := []struct {
+		tier string
+		node int
+	}{{"pmem", 0}, {"cxl", 1}, {"pmem", 1}}
+	lats := runIndexed(len(probes), func(i int) sim.Duration {
+		return MeasureTierLatency(probes[i].tier, probes[i].node)
+	})
+
 	tb := stats.NewTable("Table 2: memory access latency and bandwidth matrix",
 		"Access to", "Idle (ns)", "Paper (ns)", "Loaded (ns, measured)", "Bandwidth (MB/s)", "Paper (MB/s)")
 	tb.AddRow("L2", int64(mem.SpecL2.LoadLatency), 53.6, "-", "-", "-")
-
-	local := MeasureTierLatency("pmem", 0)
-	tb.AddRow("L-DRAM", int64(mem.SpecLocalDRAM.LoadLatency), 68.7, int64(local),
+	tb.AddRow("L-DRAM", int64(mem.SpecLocalDRAM.LoadLatency), 68.7, int64(lats[0]),
 		fmt.Sprintf("%.1f", mem.SpecLocalDRAM.ReadBWMBps), 88156.5)
-
-	rdram := MeasureTierLatency("cxl", 1)
-	tb.AddRow("R-DRAM (CXL emu)", int64(mem.SpecRemoteDRAM.LoadLatency), 121.9, int64(rdram),
+	tb.AddRow("R-DRAM (CXL emu)", int64(mem.SpecRemoteDRAM.LoadLatency), 121.9, int64(lats[1]),
 		fmt.Sprintf("%.1f", mem.SpecRemoteDRAM.ReadBWMBps), 53533.8)
-
-	pmem := MeasureTierLatency("pmem", 1)
-	tb.AddRow("L-PMEM", int64(mem.SpecPMEM.LoadLatency), 176.6, int64(pmem),
+	tb.AddRow("L-PMEM", int64(mem.SpecPMEM.LoadLatency), 176.6, int64(lats[2]),
 		fmt.Sprintf("%.1f", mem.SpecPMEM.ReadBWMBps), 21414.5)
 
 	return tb.String() +

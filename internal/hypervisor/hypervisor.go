@@ -320,18 +320,33 @@ func (vm *VM) Access(gva uint64, write bool) sim.Duration {
 		vm.stats.Writes++
 	}
 	gvpn := gva >> guestos.PageShift
-	cm := &vm.Machine.Cost
 
 	if hpfn, ok := vm.TLB.Lookup(gvpn); ok {
-		spec := vm.Machine.Topo.SpecOf(mem.Frame(hpfn))
-		lat := spec.LoadedLatency + vm.tierSpike(spec)
-		vm.recordTier(spec.Kind)
+		loaded, kind := vm.Machine.Topo.Tier(mem.Frame(hpfn))
+		if kind == mem.TierDRAM {
+			// DRAM hit: no spike draw (DRAM never spikes), no fault-stream
+			// consumption — identical accounting to the general path.
+			vm.stats.FastHits++
+			if vm.PEBS != nil {
+				vm.PEBS.Record(gvpn, loaded, true)
+			}
+			return loaded
+		}
+		vm.stats.SlowHits++
+		lat := loaded + vm.slowTierSpike(loaded)
 		if vm.PEBS != nil {
-			vm.PEBS.Record(gvpn, lat, spec.Kind == mem.TierDRAM)
+			vm.PEBS.Record(gvpn, lat, false)
 		}
 		return lat
 	}
+	return vm.accessMiss(gva, gvpn, write)
+}
 
+// accessMiss is the TLB-miss continuation of Access: walk, fault handling,
+// A/D maintenance, TLB refill. Kept out of Access so the hit path stays
+// small enough to inline.
+func (vm *VM) accessMiss(gva, gvpn uint64, write bool) sim.Duration {
+	cm := &vm.Machine.Cost
 	var cost sim.Duration
 	ge := vm.Proc.GPT.Lookup(gvpn)
 	if ge == nil {
@@ -370,36 +385,32 @@ func (vm *VM) Access(gva uint64, write bool) sim.Duration {
 	}
 	hpfn := he.Value()
 	vm.TLB.Insert(gvpn, hpfn)
-	spec := vm.Machine.Topo.SpecOf(mem.Frame(hpfn))
-	lat := spec.LoadedLatency + vm.tierSpike(spec)
+	loaded, kind := vm.Machine.Topo.Tier(mem.Frame(hpfn))
+	lat := loaded
+	if kind == mem.TierDRAM {
+		vm.stats.FastHits++
+	} else {
+		vm.stats.SlowHits++
+		lat += vm.slowTierSpike(loaded)
+	}
 	cost += lat
-	vm.recordTier(spec.Kind)
 	if vm.PEBS != nil {
-		vm.PEBS.Record(gvpn, lat, spec.Kind == mem.TierDRAM)
+		vm.PEBS.Record(gvpn, lat, kind == mem.TierDRAM)
 	}
 	return cost
 }
 
-// tierSpike returns the extra latency of a transient slow-tier congestion
-// spike, when one is injected. DRAM never spikes.
-func (vm *VM) tierSpike(spec mem.TierSpec) sim.Duration {
-	if spec.Kind == mem.TierDRAM {
-		return 0
-	}
+// slowTierSpike returns the extra latency of a transient slow-tier
+// congestion spike, when one is injected. Callers guarantee the access
+// landed on a non-DRAM tier (DRAM never spikes and must not consume a
+// fault-stream draw).
+func (vm *VM) slowTierSpike(loaded sim.Duration) sim.Duration {
 	fired, magn := vm.Machine.Fault.FireMagnitude(mem.FaultSlowTierSpike)
 	if !fired {
 		return 0
 	}
 	vm.stats.LatencySpikes++
-	return sim.Duration(magn * float64(spec.LoadedLatency))
-}
-
-func (vm *VM) recordTier(kind mem.TierKind) {
-	if kind == mem.TierDRAM {
-		vm.stats.FastHits++
-	} else {
-		vm.stats.SlowHits++
-	}
+	return sim.Duration(magn * float64(loaded))
 }
 
 // ResidentTier reports which tier currently backs gvpn: fast, slow, or

@@ -180,6 +180,20 @@ func (n *Node) Free(f Frame) {
 // Topology is the host's set of NUMA nodes.
 type Topology struct {
 	Nodes []*Node
+
+	// tiers caches each node's frame bound and the two spec fields the
+	// per-access hot path needs, in node order. Node ranges are assigned
+	// at construction and never move, so the cache is immutable; a
+	// hand-built Topology (no NewTopology) leaves it nil and falls back
+	// to NodeOf.
+	tiers []tierRef
+}
+
+// tierRef is one node's entry in the hot-path tier cache.
+type tierRef struct {
+	limit         Frame // exclusive upper bound of the node's range
+	loadedLatency sim.Duration
+	kind          TierKind
 }
 
 // NewTopology builds a topology from (spec, frames) pairs, assigning
@@ -193,8 +207,23 @@ func NewTopology(nodes ...NodeConfig) *Topology {
 		}
 		t.Nodes = append(t.Nodes, NewNode(i, cfg.Spec, base, cfg.Frames))
 		base += Frame(cfg.Frames)
+		t.tiers = append(t.tiers, tierRef{limit: base, loadedLatency: cfg.Spec.LoadedLatency, kind: cfg.Spec.Kind})
 	}
 	return t
+}
+
+// Tier resolves the loaded latency and medium kind backing frame f. It is
+// the access hot path's tier lookup: node ranges are contiguous and
+// ascending, so resolution is a compare per node against the cached
+// bounds — no pointer chasing and no TierSpec copy.
+func (t *Topology) Tier(f Frame) (loadedLatency sim.Duration, kind TierKind) {
+	for i := range t.tiers {
+		if f < t.tiers[i].limit {
+			return t.tiers[i].loadedLatency, t.tiers[i].kind
+		}
+	}
+	spec := t.NodeOf(f).Spec // hand-built topology or foreign frame
+	return spec.LoadedLatency, spec.Kind
 }
 
 // NodeConfig sizes one node of a new topology.

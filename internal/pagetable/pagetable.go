@@ -34,56 +34,61 @@ const (
 	blockMask  = blockSize - 1
 )
 
-// Entry is one leaf PTE. The zero value is a non-present entry.
+// Entry is one leaf PTE, packed into one machine word like the hardware
+// format it models: frame number in the low bits, flag bits up top. The
+// zero value is a non-present entry. Packing matters: the simulator's hot
+// path does two table lookups per guest access, and an 8-byte entry
+// halves the tables' cache footprint versus a (value, flags) struct.
 type Entry struct {
-	value uint64
-	flags uint8
+	bits uint64
 }
 
 const (
-	flagPresent uint8 = 1 << iota
+	flagPresent uint64 = 1 << (63 - iota)
 	flagAccessed
 	flagDirty
 	flagHint
+
+	valueMask = flagHint - 1 // low 60 bits hold the frame number
 )
 
 // Present reports whether the entry maps a page.
-func (e *Entry) Present() bool { return e.flags&flagPresent != 0 }
+func (e *Entry) Present() bool { return e.bits&flagPresent != 0 }
 
 // Value returns the mapped frame number (gPFN for GPT entries, hPFN for
 // EPT entries). Only meaningful when Present.
-func (e *Entry) Value() uint64 { return e.value }
+func (e *Entry) Value() uint64 { return e.bits & valueMask }
 
 // Accessed reports the PTE.A bit.
-func (e *Entry) Accessed() bool { return e.flags&flagAccessed != 0 }
+func (e *Entry) Accessed() bool { return e.bits&flagAccessed != 0 }
 
 // Dirty reports the PTE.D bit.
-func (e *Entry) Dirty() bool { return e.flags&flagDirty != 0 }
+func (e *Entry) Dirty() bool { return e.bits&flagDirty != 0 }
 
 // MarkAccessed sets the PTE.A bit (hardware does this during walks).
-func (e *Entry) MarkAccessed() { e.flags |= flagAccessed }
+func (e *Entry) MarkAccessed() { e.bits |= flagAccessed }
 
 // MarkDirty sets the PTE.D bit (hardware does this on stores).
-func (e *Entry) MarkDirty() { e.flags |= flagDirty }
+func (e *Entry) MarkDirty() { e.bits |= flagDirty }
 
 // ClearAccessed resets the PTE.A bit. The caller owns the consequent TLB
 // invalidation; forgetting it is precisely the correctness hazard that
 // forces hypervisor-based designs into full EPT flushes.
-func (e *Entry) ClearAccessed() { e.flags &^= flagAccessed }
+func (e *Entry) ClearAccessed() { e.bits &^= flagAccessed }
 
 // ClearDirty resets the PTE.D bit.
-func (e *Entry) ClearDirty() { e.flags &^= flagDirty }
+func (e *Entry) ClearDirty() { e.bits &^= flagDirty }
 
 // MarkHint arms a NUMA-hint (PROT_NONE-style) trap on the entry: the next
 // access through a walk takes a minor fault that the memory manager uses
 // as an access-frequency-weighted promotion trigger (TPP's mechanism).
-func (e *Entry) MarkHint() { e.flags |= flagHint }
+func (e *Entry) MarkHint() { e.bits |= flagHint }
 
 // ClearHint disarms the trap.
-func (e *Entry) ClearHint() { e.flags &^= flagHint }
+func (e *Entry) ClearHint() { e.bits &^= flagHint }
 
 // Hinted reports whether the hint trap is armed.
-func (e *Entry) Hinted() bool { return e.flags&flagHint != 0 }
+func (e *Entry) Hinted() bool { return e.bits&flagHint != 0 }
 
 type leafBlock struct {
 	entries [blockSize]Entry
@@ -172,7 +177,10 @@ func (t *Table) Map(key, value uint64) *Entry {
 	if e.Present() {
 		panic(fmt.Sprintf("pagetable: double map of key %#x", key))
 	}
-	*e = Entry{value: value, flags: flagPresent}
+	if value&^valueMask != 0 {
+		panic(fmt.Sprintf("pagetable: value %#x overflows entry", value))
+	}
+	*e = Entry{bits: flagPresent | value}
 	b.present++
 	t.mapped++
 	return e
@@ -187,7 +195,7 @@ func (t *Table) Unmap(key uint64) (value uint64, dirty bool) {
 		panic(fmt.Sprintf("pagetable: unmap of non-present key %#x", key))
 	}
 	e := &b.entries[key&blockMask]
-	value, dirty = e.value, e.Dirty()
+	value, dirty = e.Value(), e.Dirty()
 	*e = Entry{}
 	b.present--
 	t.mapped--
@@ -205,9 +213,11 @@ func (t *Table) Remap(key, newValue uint64) (old uint64) {
 	if e == nil {
 		panic(fmt.Sprintf("pagetable: remap of non-present key %#x", key))
 	}
-	old = e.value
-	e.value = newValue
-	e.flags = flagPresent
+	if newValue&^valueMask != 0 {
+		panic(fmt.Sprintf("pagetable: value %#x overflows entry", newValue))
+	}
+	old = e.Value()
+	e.bits = flagPresent | newValue
 	return old
 }
 
@@ -322,7 +332,7 @@ func (t *Table) HarvestAccessed(fn func(key, value uint64, accessed bool)) (visi
 			e.ClearAccessed()
 		}
 		if fn != nil {
-			fn(key, e.value, a)
+			fn(key, e.Value(), a)
 		}
 		return true
 	})

@@ -137,6 +137,7 @@ type Unit struct {
 	armed   bool
 	counter uint64
 	buffer  []Sample
+	spare   []Sample // drained buffer recycled at the next Drain
 	stats   Stats
 
 	period    uint64 // effective sample period (== cfg.SamplePeriod unless adapted)
@@ -307,15 +308,22 @@ func (u *Unit) tickWindow() {
 	u.winPMIs = 0
 }
 
-// Drain returns all buffered samples and empties the buffer. The returned
-// slice is owned by the caller.
+// Drain returns all buffered samples and empties the buffer. The unit
+// double-buffers: the returned slice is valid until the next Drain, when
+// it is recycled as the fill buffer. Callers (the policies' sample
+// handlers) consume the samples before returning, so the aliasing window
+// is never observable.
 func (u *Unit) Drain() []Sample {
 	u.stats.Drains++
 	if len(u.buffer) == 0 {
 		return nil
 	}
 	out := u.buffer
-	u.buffer = make([]Sample, 0, u.cfg.BufferEntries)
+	u.buffer = u.spare[:0]
+	if u.buffer == nil {
+		u.buffer = make([]Sample, 0, u.cfg.BufferEntries)
+	}
+	u.spare = out
 	return out
 }
 

@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -50,26 +49,48 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []*event
+// eventQueue is a binary min-heap of events by (at, seq), stored by value
+// in one slice: no per-event allocation, no container/heap interface
+// boxing. The ordering is identical to the previous container/heap
+// implementation, so event dispatch order (and with it every experiment's
+// output) is unchanged.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) {
-	*q = append(*q, x.(*event))
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
 }
 
 // Engine owns the virtual clock and event queue. It is not safe for
@@ -98,7 +119,8 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, event{at: at, seq: e.seq, fn: fn})
+	e.queue.siftUp(len(e.queue) - 1)
 }
 
 // After runs fn d nanoseconds from now.
@@ -115,7 +137,12 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = event{} // release the fn reference
+	e.queue = e.queue[:n]
+	e.queue.siftDown(0)
 	e.now = ev.at
 	e.events++
 	ev.fn()

@@ -6,7 +6,10 @@
 // parent with distinct labels are statistically independent.
 package simrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a splitmix64-seeded xoshiro256** generator. The zero value is
 // not valid; use New or Derive.
@@ -78,30 +81,15 @@ func (src *Source) Uint64n(n uint64) uint64 {
 	}
 	// Lemire's multiply-shift rejection method: unbiased and fast.
 	v := src.Uint64()
-	hi, lo := mul64(v, n)
+	hi, lo := bits.Mul64(v, n)
 	if lo < n {
 		thresh := -n % n
 		for lo < thresh {
 			v = src.Uint64()
-			hi, lo = mul64(v, n)
+			hi, lo = bits.Mul64(v, n)
 		}
 	}
 	return hi
-}
-
-// mul64 returns the 128-bit product of x and y as (hi, lo).
-func mul64(x, y uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	x0, x1 := x&mask32, x>>32
-	y0, y1 := y&mask32, y>>32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += x0 * y1
-	hi = x1*y1 + w2 + w1>>32
-	lo = x * y
-	return
 }
 
 // Intn returns a uniform value in [0, n). n must be > 0.

@@ -15,12 +15,22 @@ package tlb
 
 import "fmt"
 
-// Entry identity: one cached translation.
+// Entry identity: one cached translation, 16 bytes. key is gvpn+1 so the
+// zero value is invalid without a separate flag byte (a guest page number
+// is an address shifted right by the page bits, so +1 cannot overflow);
+// the packing keeps an 8-way set to two cache lines.
 type way struct {
-	gvpn  uint64
-	hpfn  uint64
-	valid bool
+	key  uint64 // gvpn+1; 0 = invalid
+	hpfn uint64
 }
+
+// frontSlots sizes the direct-mapped front cache (a power of two). The
+// front cache is a pure lookup accelerator: every valid front entry
+// mirrors a valid entry in the set-associative array, so its presence
+// never changes hit/miss accounting — only how fast a hit is found. It is
+// deliberately tiny: at 256 slots × 16 bytes it stays L1-resident, so the
+// extra probe on a front miss is nearly free.
+const frontSlots = 256
 
 // Stats holds instruction and traffic counters. Single/Full count flush
 // *instructions issued* (the unit of Table 1), independent of whether a
@@ -45,11 +55,17 @@ func (s Stats) HitRate() float64 {
 
 // TLB is a set-associative translation cache. Not safe for concurrent use;
 // the simulation is single-threaded.
+//
+// Entries live in one flat backing array (set i occupies ways[i*assoc :
+// (i+1)*assoc]) rather than a slice of per-set slices, and a small
+// direct-mapped front cache short-circuits repeated hits to the same page
+// without touching the counted hit/miss events.
 type TLB struct {
-	sets    [][]way
-	ways    int
+	ways    []way
+	assoc   int
 	setMask uint64
-	next    []int // per-set round-robin replacement cursor
+	next    []uint8 // per-set round-robin replacement cursor (assoc ≤ 255)
+	front   [frontSlots]way
 	stats   Stats
 }
 
@@ -57,23 +73,19 @@ type TLB struct {
 // entries must be a multiple of ways and entries/ways a power of two; a
 // bad geometry is a caller configuration error and returns an error.
 func New(entries, ways int) (*TLB, error) {
-	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+	if entries <= 0 || ways <= 0 || ways > 255 || entries%ways != 0 {
 		return nil, fmt.Errorf("tlb: bad geometry %d entries / %d ways", entries, ways)
 	}
 	nsets := entries / ways
 	if nsets&(nsets-1) != 0 {
 		return nil, fmt.Errorf("tlb: set count %d not a power of two", nsets)
 	}
-	t := &TLB{
-		sets:    make([][]way, nsets),
-		ways:    ways,
+	return &TLB{
+		ways:    make([]way, entries),
+		assoc:   ways,
 		setMask: uint64(nsets - 1),
-		next:    make([]int, nsets),
-	}
-	for i := range t.sets {
-		t.sets[i] = make([]way, ways)
-	}
-	return t, nil
+		next:    make([]uint8, nsets),
+	}, nil
 }
 
 // NewDefault returns a TLB with the default geometry: 16384 entries,
@@ -100,10 +112,17 @@ func (t *TLB) ResetStats() { t.stats = Stats{} }
 // miss-rate shaping).
 func (t *TLB) Lookup(gvpn uint64) (hpfn uint64, ok bool) {
 	t.stats.Lookups++
-	set := t.sets[gvpn&t.setMask]
+	key := gvpn + 1
+	if f := &t.front[gvpn&(frontSlots-1)]; f.key == key {
+		t.stats.Hits++
+		return f.hpfn, true
+	}
+	base := int(gvpn&t.setMask) * t.assoc
+	set := t.ways[base : base+t.assoc]
 	for i := range set {
-		if set[i].valid && set[i].gvpn == gvpn {
+		if set[i].key == key {
 			t.stats.Hits++
+			t.front[gvpn&(frontSlots-1)] = set[i]
 			return set[i].hpfn, true
 		}
 	}
@@ -111,27 +130,46 @@ func (t *TLB) Lookup(gvpn uint64) (hpfn uint64, ok bool) {
 	return 0, false
 }
 
+// frontDrop removes key's front-cache mirror, if present.
+func (t *TLB) frontDrop(key uint64) {
+	if f := &t.front[(key-1)&(frontSlots-1)]; f.key == key {
+		*f = way{}
+	}
+}
+
 // Insert caches gvpn→hpfn after a walk, evicting round-robin within the
 // set when full. Inserting an existing gvpn updates it in place.
 func (t *TLB) Insert(gvpn, hpfn uint64) {
+	key := gvpn + 1
 	si := gvpn & t.setMask
-	set := t.sets[si]
+	base := int(si) * t.assoc
+	set := t.ways[base : base+t.assoc]
+	free := -1
 	for i := range set {
-		if set[i].valid && set[i].gvpn == gvpn {
+		if set[i].key == key {
 			set[i].hpfn = hpfn
+			if f := &t.front[gvpn&(frontSlots-1)]; f.key == key {
+				f.hpfn = hpfn
+			}
 			return
 		}
-	}
-	for i := range set {
-		if !set[i].valid {
-			set[i] = way{gvpn: gvpn, hpfn: hpfn, valid: true}
-			t.stats.Fills++
-			return
+		if set[i].key == 0 && free < 0 {
+			free = i
 		}
 	}
-	v := t.next[si]
-	t.next[si] = (v + 1) % t.ways
-	set[v] = way{gvpn: gvpn, hpfn: hpfn, valid: true}
+	if free >= 0 {
+		set[free] = way{key: key, hpfn: hpfn}
+		t.stats.Fills++
+		return
+	}
+	v := int(t.next[si])
+	if v+1 == t.assoc {
+		t.next[si] = 0
+	} else {
+		t.next[si] = uint8(v + 1)
+	}
+	t.frontDrop(set[v].key)
+	set[v] = way{key: key, hpfn: hpfn}
 	t.stats.Evictions++
 	t.stats.Fills++
 }
@@ -139,9 +177,12 @@ func (t *TLB) Insert(gvpn, hpfn uint64) {
 // FlushSingle issues one single-address invalidation for gvpn.
 func (t *TLB) FlushSingle(gvpn uint64) {
 	t.stats.SingleFlushes++
-	set := t.sets[gvpn&t.setMask]
+	key := gvpn + 1
+	t.frontDrop(key)
+	base := int(gvpn&t.setMask) * t.assoc
+	set := t.ways[base : base+t.assoc]
 	for i := range set {
-		if set[i].valid && set[i].gvpn == gvpn {
+		if set[i].key == key {
 			set[i] = way{}
 			return
 		}
@@ -151,21 +192,16 @@ func (t *TLB) FlushSingle(gvpn uint64) {
 // FlushAll issues a full invalidation (invept), destroying all entries.
 func (t *TLB) FlushAll() {
 	t.stats.FullFlushes++
-	for _, set := range t.sets {
-		for i := range set {
-			set[i] = way{}
-		}
-	}
+	clear(t.ways)
+	clear(t.front[:])
 }
 
 // Scan visits every valid entry (audit/diagnostic use); returning false
 // from fn stops the walk.
 func (t *TLB) Scan(fn func(gvpn, hpfn uint64) bool) {
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid && !fn(set[i].gvpn, set[i].hpfn) {
-				return
-			}
+	for i := range t.ways {
+		if t.ways[i].key != 0 && !fn(t.ways[i].key-1, t.ways[i].hpfn) {
+			return
 		}
 	}
 }
@@ -173,11 +209,9 @@ func (t *TLB) Scan(fn func(gvpn, hpfn uint64) bool) {
 // Occupied returns the number of valid entries (test/diagnostic use).
 func (t *TLB) Occupied() int {
 	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for i := range t.ways {
+		if t.ways[i].key != 0 {
+			n++
 		}
 	}
 	return n

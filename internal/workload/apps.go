@@ -197,6 +197,7 @@ type LibLinear struct {
 	cursor       uint64
 	remaining    uint64
 	sweep        initSweep
+	gen          func() Access
 	ready        bool
 }
 
@@ -226,14 +227,7 @@ func (l *LibLinear) Setup(as AddressSpace) {
 	l.sweep.add(l.featureStart, l.FeaturePages)
 	l.sweep.add(l.weightStart, l.WeightPages)
 	l.remaining = l.Ops
-	l.ready = true
-}
-
-// Fill implements Workload: alternate one sequential feature read with one
-// random weight update.
-func (l *LibLinear) Fill(dst []Access) (int, bool) {
-	checkSetup(l.Name(), l.ready)
-	return fillLoop(&l.sweep, &l.remaining, dst, func() Access {
+	l.gen = func() Access {
 		if l.cursor%2 == 0 {
 			a := Access{GVA: pageGVA(l.featureStart, (l.cursor/2)%l.FeaturePages)}
 			l.cursor++
@@ -241,7 +235,15 @@ func (l *LibLinear) Fill(dst []Access) (int, bool) {
 		}
 		l.cursor++
 		return Access{GVA: pageGVA(l.weightStart, l.rng.Uint64n(l.WeightPages)), Write: true}
-	})
+	}
+	l.ready = true
+}
+
+// Fill implements Workload: alternate one sequential feature read with one
+// random weight update.
+func (l *LibLinear) Fill(dst []Access) (int, bool) {
+	checkSetup(l.Name(), l.ready)
+	return fillLoop(&l.sweep, &l.remaining, dst, l.gen)
 }
 
 // HotRegion returns the weight vector region.
@@ -260,6 +262,7 @@ type Bwaves struct {
 	cursor    uint64
 	remaining uint64
 	sweep     initSweep
+	gen       func() Access
 	ready     bool
 }
 
@@ -285,6 +288,12 @@ func (w *Bwaves) Setup(as AddressSpace) {
 		w.sweep.add(s, w.ArrayPages)
 	}
 	w.remaining = w.Ops
+	w.gen = func() Access {
+		arr := int(w.cursor) % w.Arrays
+		page := (w.cursor / uint64(w.Arrays)) % w.ArrayPages
+		w.cursor++
+		return Access{GVA: pageGVA(w.starts[arr], page), Write: arr == w.Arrays-1}
+	}
 	w.ready = true
 }
 
@@ -292,12 +301,7 @@ func (w *Bwaves) Setup(as AddressSpace) {
 // is written (the solver output).
 func (w *Bwaves) Fill(dst []Access) (int, bool) {
 	checkSetup(w.Name(), w.ready)
-	return fillLoop(&w.sweep, &w.remaining, dst, func() Access {
-		arr := int(w.cursor) % w.Arrays
-		page := (w.cursor / uint64(w.Arrays)) % w.ArrayPages
-		w.cursor++
-		return Access{GVA: pageGVA(w.starts[arr], page), Write: arr == w.Arrays-1}
-	})
+	return fillLoop(&w.sweep, &w.remaining, dst, w.gen)
 }
 
 // Silo models the in-memory OLTP engine under a YCSB-like mix: strong

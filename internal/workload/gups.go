@@ -31,6 +31,7 @@ type GUPS struct {
 	pHot      float64
 	remaining uint64
 	sweep     initSweep
+	gen       func() Access // built once at Setup; Fill is hot
 	ready     bool
 }
 
@@ -72,13 +73,7 @@ func (g *GUPS) Setup(as AddressSpace) {
 	g.pHot = hotMass / (hotMass + (1 - g.HotFraction))
 	g.remaining = g.Ops
 	g.sweep.add(g.region, g.FootprintPages)
-	g.ready = true
-}
-
-// Fill implements Workload.
-func (g *GUPS) Fill(dst []Access) (int, bool) {
-	checkSetup(g.Name(), g.ready)
-	return fillLoop(&g.sweep, &g.remaining, dst, func() Access {
+	g.gen = func() Access {
 		var page uint64
 		if g.rng.Float64() < g.pHot {
 			page = g.hotStart + g.rng.Uint64n(g.hotPages)
@@ -91,7 +86,14 @@ func (g *GUPS) Fill(dst []Access) (int, bool) {
 			page = p
 		}
 		return Access{GVA: pageGVA(g.region, page), Write: true}
-	})
+	}
+	g.ready = true
+}
+
+// Fill implements Workload.
+func (g *GUPS) Fill(dst []Access) (int, bool) {
+	checkSetup(g.Name(), g.ready)
+	return fillLoop(&g.sweep, &g.remaining, dst, g.gen)
 }
 
 // HotRange returns the hot section as page indices relative to the region
