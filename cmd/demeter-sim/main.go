@@ -12,6 +12,10 @@
 //	demeter-sim -scale tiny figure2       # quick smoke run
 //	demeter-sim -scale tiny chaos         # fault-injection run with invariant checks
 //	demeter-sim bench -quick              # regression numbers → BENCH_results.json
+//	demeter-sim bench -rebaseline         # refresh BENCH_baseline.json
+//	demeter-sim -metrics m.json figure2   # dump the merged metrics snapshot
+//	demeter-sim -events t.jsonl figure2   # dump event journals (chrome://tracing)
+//	demeter-sim -top 10 top figure2       # print the hottest counters
 //	demeter-sim -cpuprofile cpu.pprof figure7
 //
 // Reports are byte-identical at every -parallel setting: experiments fan
@@ -34,6 +38,7 @@ import (
 	"demeter/internal/fault"
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/workload"
 )
@@ -50,6 +55,12 @@ var (
 	benchOut   = flag.String("out", "BENCH_results.json", "bench: output path")
 	faults     = flag.String("faults", "", "chaos fault schedule, e.g. 'migrate.copy-fail=0.05,balloon.op-timeout=0.2' (empty = every point at its default rate)")
 	faultSeed  = flag.Uint64("fault-seed", 1, "chaos fault injector seed (same seed + schedule = identical run)")
+	metricsOut = flag.String("metrics", "", "write the merged metrics snapshot (JSON) to this file")
+	eventsOut  = flag.String("events", "", "write event journals (chrome://tracing JSONL) to this file")
+	topN       = flag.Int("top", 10, "top: number of counters to print")
+	baseline   = flag.String("baseline", "BENCH_baseline.json", "bench: access-path baseline file")
+	rebaseline = flag.Bool("rebaseline", false, "bench: record the measured access path as the new baseline")
+	gate       = flag.Bool("gate", false, "bench: fail when the access path regresses past the baseline envelope (+5%)")
 )
 
 func main() {
@@ -98,12 +109,17 @@ func main() {
 	}
 	defer writeMemProfile()
 
+	if *eventsOut != "" {
+		experiments.SetEventCapture(true)
+	}
+
 	switch cmd {
 	case "list":
 		for _, e := range experiments.All() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
 		}
 		fmt.Printf("%-22s %s\n", "chaos", "Fault-injection ladder with end-of-run invariant checks")
+		fmt.Printf("%-22s %s\n", "top", "Run experiments and print the hottest counters")
 	case "chaos":
 		runChaos(scale, *faults, *faultSeed)
 	case "run", "all":
@@ -113,6 +129,13 @@ func main() {
 			os.Exit(2)
 		}
 		runSuite(es, scale, workers)
+	case "top":
+		es, err := selectExperiments(*only, *skip)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		runTop(es, scale, *topN)
 	case "bench":
 		if err := runBench(scale, workers); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -126,6 +149,62 @@ func main() {
 		}
 		runSuite([]experiments.Experiment{e}, scale, workers)
 	}
+
+	if err := writeObsOutputs(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runTop executes the selected experiments for their side effects on the
+// global metrics collector and prints the N hottest counters.
+func runTop(es []experiments.Experiment, s experiments.Scale, n int) {
+	experiments.RunExperiments(s, es)
+	snap := experiments.GlobalMetrics().Condense()
+	top := snap.Top(n)
+	fmt.Printf("top %d counters across %d experiment(s) (scale %s):\n", len(top), len(es), s.Name)
+	for _, m := range top {
+		fmt.Printf("  %-28s %d\n", m.Name, uint64(m.Value))
+	}
+}
+
+// writeObsOutputs dumps the global metrics snapshot and captured event
+// journals when -metrics / -events were given.
+func writeObsOutputs() error {
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		if err := experiments.GlobalMetrics().WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return fmt.Errorf("-events: %w", err)
+		}
+		clusters := experiments.CapturedEvents()
+		var total int
+		for _, c := range clusters {
+			if err := obs.WriteTrace(f, c.Seq, c.Label, c.Events); err != nil {
+				f.Close()
+				return fmt.Errorf("-events: %w", err)
+			}
+			total += len(c.Events)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-events: %w", err)
+		}
+		fmt.Printf("wrote %d events from %d cluster run(s) to %s\n", total, len(clusters), *eventsOut)
+	}
+	return nil
 }
 
 // selectExperiments applies the -only / -skip filters to the registry.
@@ -194,10 +273,42 @@ func runSuite(es []experiments.Experiment, s experiments.Scale, workers int) {
 	}
 }
 
-// accessPathBaselineNs is the pre-optimization BenchmarkAccessPath result
-// recorded before the fast-path work, the regression reference for the
-// microbenchmark in every BENCH_results.json.
-const accessPathBaselineNs = 87.30
+// benchBaseline is the checked-in access-path regression reference
+// (BENCH_baseline.json). `bench -rebaseline` rewrites it from the
+// measured run; `bench -gate` fails when the measurement drifts more
+// than benchEnvelope past it.
+type benchBaseline struct {
+	AccessPathNsPerOp float64 `json:"access_path_ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	RecordedAt        string  `json:"recorded_at"`
+	Note              string  `json:"note,omitempty"`
+}
+
+// benchEnvelope is the tolerated fractional slowdown vs the baseline.
+const benchEnvelope = 0.05
+
+func loadBaseline(path string) (benchBaseline, error) {
+	var b benchBaseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.AccessPathNsPerOp <= 0 {
+		return b, fmt.Errorf("%s: access_path_ns_per_op must be positive", path)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, b benchBaseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 // quickBenchIDs is the representative subset 'bench -quick' measures: the
 // cheapest experiments that together cover the single-VM path, the
@@ -213,11 +324,11 @@ type benchExperiment struct {
 }
 
 type benchReport struct {
-	Scale       string `json:"scale"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Workers     int    `json:"workers"`
-	Timestamp   string `json:"timestamp"`
-	AccessPath  struct {
+	Scale      string `json:"scale"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Timestamp  string `json:"timestamp"`
+	AccessPath struct {
 		NsPerOp         float64 `json:"ns_per_op"`
 		AllocsPerOp     int64   `json:"allocs_per_op"`
 		BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
@@ -254,11 +365,35 @@ func runBench(s experiments.Scale, workers int) error {
 	micro := testing.Benchmark(benchmarkAccessPath)
 	rep.AccessPath.NsPerOp = float64(micro.T.Nanoseconds()) / float64(micro.N)
 	rep.AccessPath.AllocsPerOp = micro.AllocsPerOp()
-	rep.AccessPath.BaselineNsPerOp = accessPathBaselineNs
-	rep.AccessPath.SpeedupVsBase = accessPathBaselineNs / rep.AccessPath.NsPerOp
+	if rep.AccessPath.AllocsPerOp > 0 {
+		return fmt.Errorf("access path allocates (%d allocs/op); the fast path must stay allocation-free",
+			rep.AccessPath.AllocsPerOp)
+	}
+	if *rebaseline {
+		nb := benchBaseline{
+			AccessPathNsPerOp: rep.AccessPath.NsPerOp,
+			AllocsPerOp:       rep.AccessPath.AllocsPerOp,
+			RecordedAt:        time.Now().UTC().Format(time.RFC3339),
+			Note:              "written by demeter-sim bench -rebaseline",
+		}
+		if err := writeBaseline(*baseline, nb); err != nil {
+			return fmt.Errorf("rebaseline: %w", err)
+		}
+		fmt.Printf("bench: recorded new baseline %.2f ns/op in %s\n", nb.AccessPathNsPerOp, *baseline)
+	}
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w (run 'demeter-sim bench -rebaseline' to record one)", err)
+	}
+	rep.AccessPath.BaselineNsPerOp = base.AccessPathNsPerOp
+	rep.AccessPath.SpeedupVsBase = base.AccessPathNsPerOp / rep.AccessPath.NsPerOp
 	fmt.Printf("bench: access path %.2f ns/op, %d allocs/op (baseline %.2f ns/op, %.2fx)\n",
 		rep.AccessPath.NsPerOp, rep.AccessPath.AllocsPerOp,
-		accessPathBaselineNs, rep.AccessPath.SpeedupVsBase)
+		base.AccessPathNsPerOp, rep.AccessPath.SpeedupVsBase)
+	if *gate && rep.AccessPath.NsPerOp > base.AccessPathNsPerOp*(1+benchEnvelope) {
+		return fmt.Errorf("access path %.2f ns/op exceeds baseline %.2f ns/op by more than %.0f%%",
+			rep.AccessPath.NsPerOp, base.AccessPathNsPerOp, benchEnvelope*100)
+	}
 
 	suiteStart := time.Now()
 	for _, e := range es {
@@ -296,10 +431,13 @@ func runBench(s experiments.Scale, workers int) error {
 }
 
 // benchmarkAccessPath mirrors internal/engine's BenchmarkAccessPath so the
-// bench subcommand tracks the same hot path the CI smoke job measures.
+// bench subcommand tracks the same hot path the CI smoke job measures. The
+// registry is attached: the zero-alloc guarantee is measured with
+// observability enabled, as experiments run it.
 func benchmarkAccessPath(b *testing.B) {
 	eng := sim.NewEngine()
 	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(22000, 110000))
+	m.AttachObs(obs.New(0))
 	vm, _ := m.NewVM(hypervisor.VMConfig{VCPUs: 4, GuestFMEM: 22000, GuestSMEM: 110000, FMEMBacking: 0, SMEMBacking: 1})
 	wl := workload.NewGUPS(114688, 1<<40, 1)
 	wl.Setup(vm.Proc)
@@ -360,14 +498,21 @@ func runChaos(s experiments.Scale, spec string, seed uint64) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `demeter-sim — Demeter (SOSP'25) reproduction harness
 
-usage: demeter-sim [flags] <experiment-id | list | run | bench | chaos>
+usage: demeter-sim [flags] <experiment-id | list | run | top | bench | chaos>
 
 subcommands:
   list    show available experiments
   run     run the suite (filter with -only/-skip, fan out with -parallel)
-  bench   write regression numbers to BENCH_results.json (-quick for CI)
+  top     run experiments (filter with -only/-skip) and print the -top N
+          hottest counters from the merged metrics
+  bench   write regression numbers to BENCH_results.json (-quick for CI,
+          -rebaseline to refresh BENCH_baseline.json, -gate to enforce it)
   chaos   fault-injection ladder with end-of-run invariant checks
   <id>    run one experiment
+
+observability: -metrics FILE dumps the merged metrics snapshot as JSON;
+-events FILE dumps per-cluster event journals as chrome://tracing JSONL
+(load via chrome://tracing or https://ui.perfetto.dev).
 
 flags (accepted before or after the subcommand):
 `)

@@ -29,6 +29,7 @@ import (
 	"demeter/internal/fault"
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/virtio"
 )
@@ -101,7 +102,9 @@ type Balloon struct {
 }
 
 // attach wires a balloon to a VM. The machine's fault injector (if any)
-// is inherited by the transport and the driver model.
+// is inherited by the transport and the driver model; when the machine
+// has an observability sink, the balloon publishes its counters at
+// snapshot time and journals completed operations.
 func attach(eng *sim.Engine, vm *hypervisor.VM, node int, name string) *Balloon {
 	b := &Balloon{
 		eng:            eng,
@@ -113,7 +116,41 @@ func attach(eng *sim.Engine, vm *hypervisor.VM, node int, name string) *Balloon 
 	b.queue = virtio.NewQueue(eng, name, 64)
 	b.queue.Fault = vm.Machine.Fault
 	b.queue.SetHandler(b.guestHandle)
+	if o := vm.Machine.Obs; o != nil {
+		vmLabel := fmt.Sprintf("%d", vm.ID)
+		nodeLabel := "legacy"
+		switch node {
+		case 0:
+			nodeLabel = "fmem"
+		case 1:
+			nodeLabel = "smem"
+		}
+		o.Reg.OnSnapshot(func(r *obs.Registry) {
+			labels := []string{"vm", vmLabel, "node", nodeLabel}
+			r.Counter("balloon_inflations", labels...).Set(b.Inflations)
+			r.Counter("balloon_deflations", labels...).Set(b.Deflations)
+			r.Counter("balloon_shortfall", labels...).Set(b.Shortfall)
+			r.Counter("balloon_timeouts", labels...).Set(b.Timeouts)
+			r.Counter("balloon_recovered", labels...).Set(b.Recovered)
+			r.Counter("balloon_aborts", labels...).Set(b.Aborts)
+			r.Counter("balloon_resubmits", labels...).Set(b.Resubmits)
+			r.Gauge("balloon_held_pages", labels...).Set(float64(b.Held()))
+		})
+	}
 	return b
+}
+
+// journalOp records one completed balloon operation. Guest node is
+// encoded as node+1 so the zero value means tier-unaware.
+func (b *Balloon) journalOp(note string, pages uint64) {
+	o := b.vm.Machine.Obs
+	if o == nil {
+		return
+	}
+	o.Journal.Append(obs.Event{
+		At: b.eng.Now(), Type: obs.EvBalloonOp, VM: int32(b.vm.ID),
+		Note: note, Arg1: pages, Arg2: uint64(b.node + 1),
+	})
 }
 
 // NewLegacy attaches a tier-unaware VirtIO balloon.
@@ -155,6 +192,7 @@ func (b *Balloon) guestHandle(req *virtio.Request) {
 			b.held = append(b.held, frames...)
 			b.Inflations += uint64(len(frames))
 			b.Shortfall += body.count - uint64(len(frames))
+			b.journalOp("inflate", uint64(len(frames)))
 			req.Response = resizeReply{frames: frames}
 		case opDeflate:
 			n := body.count
@@ -167,6 +205,7 @@ func (b *Balloon) guestHandle(req *virtio.Request) {
 			// held list is homogeneous by construction.
 			b.vm.Kernel.Restore(give)
 			b.Deflations += uint64(len(give))
+			b.journalOp("deflate", uint64(len(give)))
 			req.Response = resizeReply{}
 		}
 		b.queue.Complete(req)

@@ -179,9 +179,8 @@ func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 	if err != nil {
 		panic(fmt.Sprintf("core: bad PEBS config: %v", err))
 	}
-	unit.Fault = vm.Machine.Fault
 	d.unit = unit
-	vm.PEBS = unit
+	vm.WirePEBS(unit)
 	if err := unit.Arm(); err != nil {
 		panic(fmt.Sprintf("core: PEBS arm failed: %v", err))
 	}

@@ -1,21 +1,33 @@
 package engine
 
 import (
+	"runtime"
 	"testing"
 
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/workload"
 )
 
-func BenchmarkAccessPath(b *testing.B) {
+// benchMachine builds the standard access-path benchmark cluster with the
+// metrics registry attached: the zero-alloc contract is measured under
+// the configuration experiments actually run.
+func benchMachine() (*hypervisor.VM, *workload.GUPS) {
 	eng := sim.NewEngine()
 	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(22000, 110000))
+	m.AttachObs(obs.New(0))
 	vm, _ := m.NewVM(hypervisor.VMConfig{VCPUs: 4, GuestFMEM: 22000, GuestSMEM: 110000, FMEMBacking: 0, SMEMBacking: 1})
 	wl := workload.NewGUPS(114688, 1<<40, 1)
 	wl.Setup(vm.Proc)
+	return vm, wl
+}
+
+func BenchmarkAccessPath(b *testing.B) {
+	vm, wl := benchMachine()
 	buf := make([]workload.Access, 4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	done := 0
 	for done < b.N {
@@ -26,4 +38,32 @@ func BenchmarkAccessPath(b *testing.B) {
 		}
 	}
 	_ = sim.Second
+}
+
+// TestAccessPathZeroAlloc pins the fast-path contract in the normal test
+// run, not just under `go test -bench`: with the registry attached, a
+// warm access loop must not allocate.
+func TestAccessPathZeroAlloc(t *testing.T) {
+	vm, wl := benchMachine()
+	buf := make([]workload.Access, 4096)
+	touch := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			n, _ := wl.Fill(buf)
+			for i := 0; i < n; i++ {
+				vm.Access(buf[i].GVA, buf[i].Write)
+			}
+		}
+	}
+	touch(8) // warm the footprint: fault in pages, size TLB structures
+
+	const rounds = 16
+	allocs := testing.AllocsPerRun(10, func() { touch(rounds) })
+	perAccess := allocs / float64(rounds*len(buf))
+	// Background spills (slow-path refill growth) get a sliver of slack;
+	// the hit path itself must contribute nothing.
+	if perAccess > 0.0001 {
+		t.Fatalf("access path allocates: %.6f allocs/access (%v allocs per %d-round run)",
+			perAccess, allocs, rounds)
+	}
+	runtime.KeepAlive(buf)
 }

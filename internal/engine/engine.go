@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"demeter/internal/hypervisor"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/stats"
 	"demeter/internal/workload"
@@ -92,6 +93,18 @@ func (x *Executor) Start() {
 
 // OpsDone returns the number of accesses executed so far.
 func (x *Executor) OpsDone() uint64 { return x.opsDone }
+
+// PublishObs registers a snapshot hook exposing the executor's progress
+// (ops done, workload runtime once finished) under the given vm label.
+// Like all obs publishing it costs nothing until a snapshot is taken.
+func (x *Executor) PublishObs(o *obs.Obs, vmLabel string) {
+	o.Reg.OnSnapshot(func(r *obs.Registry) {
+		r.Counter("engine_ops_done", "vm", vmLabel).Set(x.opsDone)
+		if x.finished {
+			r.Gauge("engine_runtime_seconds", "vm", vmLabel).Set((x.finishedAt - x.startedAt).Seconds())
+		}
+	})
+}
 
 // Finished reports completion.
 func (x *Executor) Finished() bool { return x.finished }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"demeter/internal/balloon"
@@ -9,6 +10,7 @@ import (
 	"demeter/internal/engine"
 	"demeter/internal/fault"
 	"demeter/internal/hypervisor"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/workload"
 )
@@ -124,6 +126,16 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
 	if s.ScanPTECost > 0 {
 		m.Cost.ScanPTECost = s.ScanPTECost
 	}
+	o := obs.New(0)
+	m.AttachObs(o) // before NewVM/NewDouble so publish hooks register
+	// Journal each fired fault. OnFire runs after the draw, so the fault
+	// stream is identical with or without observability attached.
+	inj.OnFire = func(p fault.Point, magnitude float64) {
+		o.Journal.Append(obs.Event{
+			At: eng.Now(), Type: obs.EvFault, VM: -1,
+			Note: string(p), Arg1: math.Float64bits(magnitude),
+		})
+	}
 
 	// Elastic configuration: guest nodes at full capacity, the double
 	// balloon carves the actual provision (figure 6's demeter scheme).
@@ -227,6 +239,7 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
 	}
 
 	r.report = chaosRungReport(mult, r.thpt, inj, vms, ds, doubles)
+	s.finishObs(fmt.Sprintf("chaos-x%g", mult), o)
 	return r
 }
 

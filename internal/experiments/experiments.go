@@ -30,6 +30,7 @@ import (
 	"demeter/internal/engine"
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/stats"
 	"demeter/internal/tlb"
@@ -90,6 +91,14 @@ type Scale struct {
 	ScanPTECost sim.Duration
 	// Horizon bounds each run.
 	Horizon sim.Duration
+
+	// obsAcc collects per-cluster metrics snapshots for the running
+	// experiment's report section. RunExperiments installs a fresh one
+	// per experiment; the pointer survives Scale's value copies
+	// (splitScale and friends), so every leaf contributes to its
+	// experiment's accumulator. Nil (direct API use, tests) disables
+	// accumulation; the global collector still sees every run.
+	obsAcc *obsAccum
 }
 
 // Quick is the default harness scale: sizes and time both ÷128, which
@@ -306,6 +315,8 @@ func (s Scale) RunCluster(design string, nVMs int, mkWL func(vmID int) workload.
 	if s.ScanPTECost > 0 {
 		m.Cost.ScanPTECost = s.ScanPTECost
 	}
+	o := obs.New(0)
+	m.AttachObs(o)
 
 	res := ClusterResult{Design: design, GuestCPU: sim.NewLedger(), HostCPU: sim.NewLedger()}
 	var xs []*engine.Executor
@@ -325,8 +336,10 @@ func (s Scale) RunCluster(design string, nVMs int, mkWL func(vmID int) workload.
 			panic(err)
 		}
 		x := engine.NewExecutor(eng, vm, mkWL(i))
+		x.PublishObs(o, fmt.Sprintf("%d", i))
 		if opt.txnLatency {
 			x.TxnHist = stats.NewHistogram()
+			o.Reg.AttachHistogram("txn_latency_ns", x.TxnHist, "vm", fmt.Sprintf("%d", i))
 		}
 		pol := s.NewPolicy(design)
 		pol.Attach(eng, vm)
@@ -385,6 +398,7 @@ func (s Scale) RunCluster(design string, nVMs int, mkWL func(vmID int) workload.
 	}
 	res.HostCPU.Merge(m.HostLedger)
 	auditMachine(m)
+	s.finishObs(design, o)
 	return res
 }
 

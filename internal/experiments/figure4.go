@@ -6,6 +6,7 @@ import (
 
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/workload"
 )
@@ -95,6 +96,8 @@ func Figure4Data(s Scale) (gva, gpa HeatMap) {
 	if s.ScanPTECost > 0 {
 		m.Cost.ScanPTECost = s.ScanPTECost
 	}
+	o := obs.New(0)
+	m.AttachObs(o)
 	vm, err := m.NewVM(hypervisor.VMConfig{
 		VCPUs: 4, GuestFMEM: s.VMFMEM, GuestSMEM: s.VMSMEM,
 		FMEMBacking: 0, SMEMBacking: 1,
@@ -171,6 +174,7 @@ func Figure4Data(s Scale) (gva, gpa HeatMap) {
 		}
 	}
 	auditMachine(m)
+	s.finishObs("figure4-heatmap", o)
 	return gva, gpa
 }
 

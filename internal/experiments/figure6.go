@@ -6,6 +6,7 @@ import (
 	"demeter/internal/balloon"
 	"demeter/internal/engine"
 	"demeter/internal/hypervisor"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/stats"
 	"demeter/internal/workload"
@@ -84,6 +85,8 @@ func runProvisioned(s Scale, scheme provisionScheme) float64 {
 	if s.ScanPTECost > 0 {
 		m.Cost.ScanPTECost = s.ScanPTECost
 	}
+	o := obs.New(0)
+	m.AttachObs(o) // before balloons attach, so their publish hooks register
 
 	var vms []*hypervisor.VM
 	pending := n
@@ -138,5 +141,6 @@ func runProvisioned(s Scale, scheme provisionScheme) float64 {
 		}
 	}
 	auditMachine(m)
+	s.finishObs("figure6-"+scheme.name, o)
 	return float64(ops2) / wall.Seconds()
 }

@@ -6,6 +6,7 @@ import (
 	"demeter/internal/core"
 	"demeter/internal/engine"
 	"demeter/internal/hypervisor"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/stats"
 	"demeter/internal/workload"
@@ -27,6 +28,8 @@ func runDemeterWith(s Scale, nVMs int, cfg core.Config) float64 {
 	if s.ScanPTECost > 0 {
 		m.Cost.ScanPTECost = s.ScanPTECost
 	}
+	o := obs.New(0)
+	m.AttachObs(o)
 	var xs []*engine.Executor
 	var ds []*core.Demeter
 	for i := 0; i < nVMs; i++ {
@@ -54,6 +57,7 @@ func runDemeterWith(s Scale, nVMs int, cfg core.Config) float64 {
 		sum += x.Runtime().Seconds()
 	}
 	auditMachine(m)
+	s.finishObs("demeter-tuned", o)
 	return sum / float64(nVMs)
 }
 

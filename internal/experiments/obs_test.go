@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"demeter/internal/obs"
+)
+
+// TestReportCarriesMetricsSection: every report gains a metrics snapshot
+// section, rendered post-barrier and byte-identical across -parallel
+// (the byte-identity half rides on TestRunExperimentsByteIdentical,
+// which goes through the same RunExperiments path).
+func TestReportCarriesMetricsSection(t *testing.T) {
+	e, ok := Get("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	reports := RunExperiments(Tiny(), []Experiment{e})
+	out := reports[0].Output
+	for _, want := range []string{"metrics snapshot (", "vm_accesses", "tlb_lookups"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEventCaptureAndGlobalMetrics drives the CLI-facing surface: with
+// capture on, cluster journals are retained and the global collector
+// accumulates a merged snapshot.
+func TestEventCaptureAndGlobalMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster runs in -short mode")
+	}
+	ResetObsCollection()
+	SetEventCapture(true)
+	defer func() {
+		SetEventCapture(false)
+		ResetObsCollection()
+	}()
+
+	e, ok := Get("figure6")
+	if !ok {
+		t.Fatal("figure6 not registered")
+	}
+	RunExperiments(Tiny(), []Experiment{e})
+
+	snap := GlobalMetrics().Condense()
+	byName := map[string]float64{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m.Value
+	}
+	if byName["vm_accesses"] == 0 {
+		t.Errorf("global vm_accesses = 0; metrics did not accumulate: %v", byName)
+	}
+	if byName["balloon_inflations"] == 0 {
+		t.Errorf("global balloon_inflations = 0; balloon hooks did not publish")
+	}
+	if len(GlobalMetrics().Top(3)) == 0 {
+		t.Error("Top(3) returned nothing")
+	}
+
+	clusters := CapturedEvents()
+	if len(clusters) == 0 {
+		t.Fatal("no journals captured with capture enabled")
+	}
+	var sawBalloonOp bool
+	for _, c := range clusters {
+		if c.Label == "" {
+			t.Errorf("cluster %d has no label", c.Seq)
+		}
+		for _, ev := range c.Events {
+			if ev.Type == obs.EvBalloonOp {
+				sawBalloonOp = true
+			}
+		}
+	}
+	if !sawBalloonOp {
+		t.Error("no balloon_op events journaled across a provisioning experiment")
+	}
+}

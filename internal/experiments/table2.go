@@ -5,6 +5,7 @@ import (
 
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 	"demeter/internal/stats"
 )
@@ -22,8 +23,16 @@ func init() {
 // latency. It exercises the full simulated hardware path (TLB, walks,
 // tier latency) rather than echoing configuration.
 func MeasureTierLatency(tier string, node int) sim.Duration {
+	return Scale{}.measureTierLatency(tier, node)
+}
+
+// measureTierLatency is MeasureTierLatency carrying the Scale so probe
+// runs contribute to the experiment's metrics snapshot.
+func (s Scale) measureTierLatency(tier string, node int) sim.Duration {
 	eng := sim.NewEngine()
 	m := hypervisor.NewMachine(eng, hostTopology(tier, 4096, 4096))
+	o := obs.New(0)
+	m.AttachObs(o)
 	guestFMEM, guestSMEM := uint64(4096), uint64(4096)
 	vm, err := m.NewVM(hypervisor.VMConfig{
 		VCPUs: 1, GuestFMEM: guestFMEM, GuestSMEM: guestSMEM,
@@ -61,19 +70,20 @@ func MeasureTierLatency(tier string, node int) sim.Duration {
 		vm.Kernel.FreePage(f)
 	}
 	auditMachine(m)
+	s.finishObs(fmt.Sprintf("mlc-%s-node%d", tier, node), o)
 	return total / (pages * rounds)
 }
 
 // Table2 reproduces the platform characterization: idle latency per
 // medium (measured through the simulator) and the configured stream
 // bandwidths, alongside the paper's measured values.
-func Table2(Scale) string {
+func Table2(s Scale) string {
 	probes := []struct {
 		tier string
 		node int
 	}{{"pmem", 0}, {"cxl", 1}, {"pmem", 1}}
 	lats := runIndexed(len(probes), func(i int) sim.Duration {
-		return MeasureTierLatency(probes[i].tier, probes[i].node)
+		return s.measureTierLatency(probes[i].tier, probes[i].node)
 	})
 
 	tb := stats.NewTable("Table 2: memory access latency and bandwidth matrix",

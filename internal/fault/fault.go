@@ -93,6 +93,11 @@ type arm struct {
 type Injector struct {
 	root *simrand.Source
 	arms map[Point]*arm
+
+	// OnFire, when set, observes every fired fault (point and magnitude).
+	// It runs after the draw, so it cannot perturb the fault sequence;
+	// chaos runs use it to journal injections.
+	OnFire func(Point, float64)
 }
 
 // NewInjector returns an injector with no armed points.
@@ -152,6 +157,9 @@ func (in *Injector) FireMagnitude(p Point) (bool, float64) {
 		return false, 0
 	}
 	a.fired++
+	if in.OnFire != nil {
+		in.OnFire(p, a.magnitude)
+	}
 	return true, a.magnitude
 }
 

@@ -12,6 +12,7 @@ import (
 	"demeter/internal/fault"
 	"demeter/internal/guestos"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/pagetable"
 	"demeter/internal/pebs"
 	"demeter/internal/sim"
@@ -139,6 +140,11 @@ type Machine struct {
 	// fault points (migration copy faults, busy pages, latency spikes).
 	// Nil means a fault-free run; all injection sites are nil-safe.
 	Fault *fault.Injector
+
+	// Obs, when non-nil, receives journal events from the machine's
+	// control planes and publishes per-VM metrics at snapshot time. The
+	// access fast path never touches it; see AttachObs.
+	Obs *obs.Obs
 }
 
 // NewMachine builds a host over topo.
@@ -149,6 +155,108 @@ func NewMachine(eng *sim.Engine, topo *mem.Topology) *Machine {
 		Cost:       DefaultCostModel(),
 		HostLedger: sim.NewLedger(),
 	}
+}
+
+// AttachObs connects an observability sink to the machine. Metrics are
+// published exclusively through an OnSnapshot hook that copies the
+// existing ad-hoc stats structs (VMStats, tlb.Stats, pebs.Stats, the
+// ledgers) into registered instruments, so enabling obs adds zero work
+// to the per-access path. Journal events come only from control-plane
+// paths (migrations, flushes, PMIs). Call before creating VMs; VMs that
+// already exist have their PEBS units wired retroactively.
+func (m *Machine) AttachObs(o *obs.Obs) {
+	m.Obs = o
+	if o == nil {
+		return
+	}
+	for _, vm := range m.VMs {
+		if vm.PEBS != nil {
+			vm.wirePEBSObs(vm.PEBS)
+		}
+	}
+	o.Reg.OnSnapshot(m.publishMetrics)
+}
+
+// publishMetrics copies every live VM's ad-hoc stats into the registry.
+// It runs only at snapshot time (end of an experiment, or an explicit
+// dump), never on an access.
+func (m *Machine) publishMetrics(r *obs.Registry) {
+	for _, vm := range m.VMs {
+		id := fmt.Sprintf("%d", vm.ID)
+		st := &vm.stats
+		r.Counter("vm_accesses", "vm", id).Set(st.Accesses)
+		r.Counter("vm_writes", "vm", id).Set(st.Writes)
+		r.Counter("vm_ept_faults", "vm", id).Set(st.EPTFaults)
+		r.Counter("vm_guest_faults", "vm", id).Set(st.GuestFaults)
+		r.Counter("vm_spills", "vm", id).Set(st.Spills)
+		r.Counter("vm_fast_hits", "vm", id).Set(st.FastHits)
+		r.Counter("vm_slow_hits", "vm", id).Set(st.SlowHits)
+		r.Counter("migrate_busy", "vm", id).Set(st.MigrateBusy)
+		r.Counter("migrate_rollbacks", "vm", id).Set(st.MigrateRollbacks)
+		r.Counter("swap_rollbacks", "vm", id).Set(st.SwapRollbacks)
+		r.Counter("latency_spikes", "vm", id).Set(st.LatencySpikes)
+
+		ts := vm.TLB.Stats()
+		r.Counter("tlb_lookups", "vm", id).Set(ts.Lookups)
+		r.Counter("tlb_hits", "vm", id).Set(ts.Hits)
+		r.Counter("tlb_misses", "vm", id).Set(ts.Misses)
+		r.Counter("tlb_single_flushes", "vm", id).Set(ts.SingleFlushes)
+		r.Counter("tlb_full_flushes", "vm", id).Set(ts.FullFlushes)
+		r.Counter("tlb_evictions", "vm", id).Set(ts.Evictions)
+		r.Counter("tlb_fills", "vm", id).Set(ts.Fills)
+
+		if vm.PEBS != nil {
+			ps := vm.PEBS.Stats()
+			r.Counter("pebs_qualifying", "vm", id).Set(ps.Qualifying)
+			r.Counter("pebs_samples", "vm", id).Set(ps.Samples)
+			r.Counter("pebs_pmis", "vm", id).Set(ps.PMIs)
+			r.Counter("pebs_dropped", "vm", id).Set(ps.Dropped)
+			r.Counter("pebs_drains", "vm", id).Set(ps.Drains)
+			r.Counter("pebs_widenings", "vm", id).Set(ps.Widenings)
+			r.Counter("pebs_narrowings", "vm", id).Set(ps.Narrowings)
+		}
+
+		for _, comp := range vm.Ledger.Components() {
+			r.Gauge("cpu_guest_seconds", "vm", id, "component", comp).
+				Set(vm.Ledger.Total(comp).Seconds())
+		}
+	}
+	for _, comp := range m.HostLedger.Components() {
+		r.Gauge("cpu_host_seconds", "component", comp).
+			Set(m.HostLedger.Total(comp).Seconds())
+	}
+}
+
+// journal appends a control-plane event when obs is attached. A single
+// nil check gates it, so obs-free runs pay one branch.
+func (vm *VM) journal(t obs.EventType, note string, a1, a2 uint64) {
+	m := vm.Machine
+	if m == nil || m.Obs == nil {
+		return
+	}
+	m.Obs.Journal.Append(obs.Event{
+		At: m.Eng.Now(), Type: t, VM: int32(vm.ID), Note: note, Arg1: a1, Arg2: a2,
+	})
+}
+
+// WirePEBS installs a sampling unit on the VM, inheriting the machine's
+// fault injector and, when obs is attached, the journal (so PMIs leave
+// records). Policies that build their own units call this instead of
+// assigning vm.PEBS directly.
+func (vm *VM) WirePEBS(u *pebs.Unit) {
+	u.Fault = vm.Machine.Fault
+	vm.wirePEBSObs(u)
+	vm.PEBS = u
+}
+
+func (vm *VM) wirePEBSObs(u *pebs.Unit) {
+	m := vm.Machine
+	if m == nil || m.Obs == nil {
+		return
+	}
+	u.Journal = m.Obs.Journal
+	u.Now = m.Eng.Now
+	u.Tag = int32(vm.ID)
 }
 
 // VMConfig sizes one guest.
@@ -246,8 +354,7 @@ func (m *Machine) NewVM(cfg VMConfig) (*VM, error) {
 		if err != nil {
 			return nil, err
 		}
-		u.Fault = m.Fault
-		vm.PEBS = u
+		vm.WirePEBS(u)
 	}
 	m.VMs = append(m.VMs, vm)
 	return vm, nil
@@ -442,6 +549,7 @@ func (vm *VM) FlushSingle(gvpn uint64) sim.Duration {
 func (vm *VM) FlushFull() sim.Duration {
 	vm.TLB.FlushAll()
 	vm.warmWalks = 0
+	vm.journal(obs.EvTLBFullFlush, "", 0, 0)
 	return vm.Machine.Cost.TLBFullFlushCost
 }
 
@@ -481,6 +589,7 @@ func (vm *VM) SwapGuestPages(hotGVPN, coldGVPN uint64) (sim.Duration, error) {
 	hotSpec := vm.hostSpecOfGPFN(hotGPFN)
 	coldSpec := vm.hostSpecOfGPFN(coldGPFN)
 
+	vm.journal(obs.EvMigrateBegin, "swap", hotGVPN, coldGVPN)
 	var cost sim.Duration
 	// Unmap both, flush, swap contents directly, remap crossed.
 	cost += 2 * cm.PTEOpCost // two unmaps
@@ -490,12 +599,14 @@ func (vm *VM) SwapGuestPages(hotGVPN, coldGVPN uint64) (sim.Duration, error) {
 	if vm.Machine.Fault.Fire(FaultMigrateCopy) {
 		cost += 2 * cm.PTEOpCost // remap both originals
 		vm.stats.SwapRollbacks++
+		vm.journal(obs.EvMigrateRollback, "swap", hotGVPN, coldGVPN)
 		return cost, ErrCopyFault
 	}
 	cost += mem.CopyCost(coldSpec, hotSpec, mem.PageSize)
 	cost += 2 * cm.PTEOpCost // two maps
 	gpt.Remap(hotGVPN, coldGPFN)
 	gpt.Remap(coldGVPN, hotGPFN)
+	vm.journal(obs.EvMigrateCommit, "swap", hotGVPN, coldGVPN)
 	return cost, nil
 }
 
@@ -528,6 +639,7 @@ func (vm *VM) MigrateGuestPage(gvpn uint64, targetGuestNode int) (sim.Duration, 
 	if !ok {
 		return 0, ErrNoFrame
 	}
+	vm.journal(obs.EvMigrateBegin, "move", gvpn, uint64(targetGuestNode))
 	var cost sim.Duration
 	if _, faulted := vm.ensureBacked(uint64(newGPFN)); faulted {
 		cost += cm.EPTFaultCost
@@ -543,12 +655,14 @@ func (vm *VM) MigrateGuestPage(gvpn uint64, targetGuestNode int) (sim.Duration, 
 		cost += cm.PTEOpCost // restore source PTE
 		vm.Kernel.FreePage(newGPFN)
 		vm.stats.MigrateRollbacks++
+		vm.journal(obs.EvMigrateRollback, "move", gvpn, uint64(targetGuestNode))
 		return cost, ErrCopyFault
 	}
 	cost += mem.CopyCost(srcSpec, dstSpec, mem.PageSize)
 	cost += cm.PTEOpCost // map destination
 	vm.Proc.GPT.Remap(gvpn, uint64(newGPFN))
 	vm.Kernel.FreePage(mem.Frame(oldGPFN))
+	vm.journal(obs.EvMigrateCommit, "move", gvpn, uint64(targetGuestNode))
 	return cost, nil
 }
 
@@ -571,12 +685,14 @@ func (vm *VM) HostMigrate(gpfn uint64, targetHostNode int) (sim.Duration, bool) 
 		return 0, false
 	}
 	cm := &vm.Machine.Cost
+	vm.journal(obs.EvMigrateBegin, "host", gpfn, uint64(targetHostNode))
 	var cost sim.Duration
 	cost += 2 * cm.PTEOpCost
 	cost += mem.CopyCost(oldNode.Spec, target.Spec, mem.PageSize)
 	cost += vm.FlushFull()
 	vm.EPT.Remap(gpfn, uint64(newFrame))
 	oldNode.Free(oldFrame)
+	vm.journal(obs.EvMigrateCommit, "host", gpfn, uint64(targetHostNode))
 	return cost, true
 }
 

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"demeter/internal/stats"
+)
+
+// Kind classifies a metric.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically increasing count. Publish hooks typically
+// Set it from an existing ad-hoc stats field at snapshot time; components
+// that have no such field may Add on their (cold) paths directly.
+type Counter struct{ v uint64 }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Set overwrites the counter with the current value of the source it
+// mirrors. The source must be monotonic for the counter to be one.
+func (c *Counter) Set(v uint64) { c.v = v }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time level (CPU seconds, held pages, occupancy).
+type Gauge struct{ v float64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return g.v }
+
+// metricKey identifies one registered instrument. labels is the
+// canonical "k=v,k=v" rendering of the label pairs.
+type metricKey struct {
+	name   string
+	labels string
+}
+
+// Registry holds registered instruments and snapshot publish hooks. It is
+// not safe for concurrent use: like the sim engine, one registry belongs
+// to one single-threaded cluster run.
+type Registry struct {
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*stats.Histogram
+	hooks    []func(*Registry)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*stats.Histogram),
+	}
+}
+
+// labelString canonicalizes variadic "k, v, k, v" pairs to "k=v,k=v".
+// Callers pass labels in a fixed order, so no sorting happens here; an
+// odd pair count is a programming error.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q (want key,value pairs)", kv))
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	return b.String()
+}
+
+// Counter returns the counter registered under name and the given label
+// pairs, creating it on first use. Hot paths must not call this per
+// event — resolve once and keep the pointer, or publish via OnSnapshot.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	k := metricKey{name, labelString(labels)}
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name and labels, creating it
+// on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	k := metricKey{name, labelString(labels)}
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it on first use.
+func (r *Registry) Histogram(name string, labels ...string) *stats.Histogram {
+	k := metricKey{name, labelString(labels)}
+	h := r.hists[k]
+	if h == nil {
+		h = stats.NewHistogram()
+		r.hists[k] = h
+	}
+	return h
+}
+
+// AttachHistogram registers an externally owned histogram (an executor's
+// transaction-latency histogram, say) so snapshots include it without
+// copying observations twice. Attaching a second histogram under the
+// same key replaces the first.
+func (r *Registry) AttachHistogram(name string, h *stats.Histogram, labels ...string) {
+	r.hists[metricKey{name, labelString(labels)}] = h
+}
+
+// OnSnapshot registers a publish hook that runs at the start of every
+// Snapshot call. Hooks copy component stats into registered instruments,
+// which is what keeps instrumentation off the hot paths.
+func (r *Registry) OnSnapshot(fn func(*Registry)) {
+	r.hooks = append(r.hooks, fn)
+}
+
+// HistStats summarizes one histogram for snapshots. It retains a private
+// clone of the source histogram so merged snapshots can re-derive exact
+// quantiles instead of averaging summaries.
+type HistStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+
+	hist *stats.Histogram
+}
+
+func newHistStats(h *stats.Histogram) *HistStats {
+	return &HistStats{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		hist:  h,
+	}
+}
+
+// Metric is one instrument's snapshotted state. Value carries the count
+// for counters, the level for gauges and the observation count for
+// histograms (whose distribution lives in Hist).
+type Metric struct {
+	Name   string     `json:"name"`
+	Labels string     `json:"labels,omitempty"`
+	Kind   Kind       `json:"kind"`
+	Value  float64    `json:"value"`
+	Hist   *HistStats `json:"hist,omitempty"`
+}
+
+// Snapshot is an immutable point-in-time copy of a registry, sorted by
+// (Name, Labels) for deterministic rendering. Merging never mutates the
+// inputs, so snapshots can be shared freely across goroutines once taken.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot runs the publish hooks, then collects every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	for _, fn := range r.hooks {
+		fn(r)
+	}
+	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		ms = append(ms, Metric{Name: k.name, Labels: k.labels, Kind: KindCounter, Value: float64(c.v)})
+	}
+	for k, g := range r.gauges {
+		ms = append(ms, Metric{Name: k.name, Labels: k.labels, Kind: KindGauge, Value: g.v})
+	}
+	for k, h := range r.hists {
+		clone := h.Clone()
+		ms = append(ms, Metric{Name: k.name, Labels: k.labels, Kind: KindHistogram,
+			Value: float64(clone.Count()), Hist: newHistStats(clone)})
+	}
+	sortMetrics(ms)
+	return Snapshot{Metrics: ms}
+}
+
+func sortMetrics(ms []Metric) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		if ms[i].Labels != ms[j].Labels {
+			return ms[i].Labels < ms[j].Labels
+		}
+		return ms[i].Kind < ms[j].Kind
+	})
+}
+
+// merge folds two snapshots: metrics with identical (name, labels, kind)
+// sum their values; histograms merge bucket-wise via their retained
+// clones. Inputs are never mutated.
+func (s Snapshot) mergeBy(other Snapshot, key func(Metric) metricKey) Snapshot {
+	type fullKey struct {
+		metricKey
+		kind Kind
+	}
+	idx := make(map[fullKey]int, len(s.Metrics))
+	out := make([]Metric, 0, len(s.Metrics)+len(other.Metrics))
+	add := func(m Metric) {
+		mk := key(m)
+		m.Name, m.Labels = mk.name, mk.labels
+		fk := fullKey{mk, m.Kind}
+		i, ok := idx[fk]
+		if !ok {
+			idx[fk] = len(out)
+			out = append(out, m)
+			return
+		}
+		out[i].Value += m.Value
+		if m.Hist != nil {
+			if out[i].Hist == nil {
+				out[i].Hist = m.Hist
+			} else {
+				merged := out[i].Hist.hist.Clone()
+				merged.Merge(m.Hist.hist)
+				out[i].Hist = newHistStats(merged)
+			}
+		}
+	}
+	for _, m := range s.Metrics {
+		add(m)
+	}
+	for _, m := range other.Metrics {
+		add(m)
+	}
+	sortMetrics(out)
+	return Snapshot{Metrics: out}
+}
+
+// Merge combines two snapshots, summing metrics that share (name,
+// labels, kind). Merge order still matters for bit-exact float sums;
+// callers that need byte-identical output across schedules must fold
+// snapshots in a canonical order (see experiments' accumulator).
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	return s.mergeBy(other, func(m Metric) metricKey {
+		return metricKey{m.Name, m.Labels}
+	})
+}
+
+// Condense collapses labels away: all instruments sharing a name fold
+// into one label-free metric. Used for the compact per-report section.
+func (s Snapshot) Condense() Snapshot {
+	return s.mergeBy(Snapshot{}, func(m Metric) metricKey {
+		return metricKey{name: m.Name}
+	})
+}
+
+// Top returns the n largest counters, ties broken by (name, labels) so
+// the order is deterministic.
+func (s Snapshot) Top(n int) []Metric {
+	var cs []Metric
+	for _, m := range s.Metrics {
+		if m.Kind == KindCounter {
+			cs = append(cs, m)
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Value != cs[j].Value {
+			return cs[i].Value > cs[j].Value
+		}
+		if cs[i].Name != cs[j].Name {
+			return cs[i].Name < cs[j].Name
+		}
+		return cs[i].Labels < cs[j].Labels
+	})
+	if n >= 0 && len(cs) > n {
+		cs = cs[:n]
+	}
+	return cs
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// traceEvent is one line of the Chrome Trace Event Format (JSON object
+// format, one object per line — the "JSON Lines" flavor trace viewers
+// accept when the lines are wrapped in an array or streamed). Instant
+// events use ph "i"; process metadata uses ph "M".
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceArgs renders an event's payload for trace viewers.
+func (e Event) traceArgs() map[string]any {
+	switch e.Type {
+	case EvMigrateBegin, EvMigrateCommit, EvMigrateRollback:
+		return map[string]any{"kind": e.Note, "page": e.Arg1, "target": e.Arg2}
+	case EvPMI:
+		return map[string]any{"buffered": e.Arg1}
+	case EvBalloonOp:
+		return map[string]any{"op": e.Note, "pages": e.Arg1, "node": int64(e.Arg2) - 1}
+	case EvFault:
+		return map[string]any{"point": e.Note, "magnitude": math.Float64frombits(e.Arg1)}
+	default:
+		return nil
+	}
+}
+
+// WriteTrace writes one cluster run's journal as chrome://tracing
+// instant events, one JSON object per line. pid distinguishes cluster
+// runs within one output file; process names the run (shown as the
+// process label); tid is the VM id. Timestamps are simulated
+// microseconds.
+func WriteTrace(w io.Writer, pid int, process string, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta := traceEvent{
+		Name:  "process_name",
+		Phase: "M",
+		PID:   pid,
+		Args:  map[string]any{"name": process},
+	}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, e := range events {
+		te := traceEvent{
+			Name:  e.Type.String(),
+			Cat:   e.Type.category(),
+			Phase: "i",
+			TS:    float64(e.At) / 1000.0,
+			PID:   pid,
+			TID:   e.VM,
+			Scope: "t",
+			Args:  e.traceArgs(),
+		}
+		if err := enc.Encode(te); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

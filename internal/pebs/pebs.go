@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"demeter/internal/fault"
+	"demeter/internal/obs"
 	"demeter/internal/sim"
 )
 
@@ -151,6 +152,16 @@ type Unit struct {
 
 	// Fault, when non-nil, injects buffer overflows and PMI storms.
 	Fault *fault.Injector
+
+	// Journal, when non-nil, receives an EvPMI record per delivered
+	// interrupt, stamped via Now and tagged with the owning VM's Tag.
+	// PMIs are rare by design (the whole point of §3.2.2's fixed low
+	// sample frequency), so journaling them stays off the hot path.
+	Journal *obs.Journal
+	// Now supplies simulated time for journal records.
+	Now func() sim.Time
+	// Tag identifies the owning VM in journal records.
+	Tag int32
 }
 
 // NewUnit validates cfg and returns a disarmed unit.
@@ -260,6 +271,13 @@ func (u *Unit) Record(gvpn uint64, latency sim.Duration, fastTier bool) {
 func (u *Unit) pmi() {
 	u.stats.PMIs++
 	u.winPMIs++
+	if u.Journal != nil {
+		var at sim.Time
+		if u.Now != nil {
+			at = u.Now()
+		}
+		u.Journal.Append(obs.Event{At: at, Type: obs.EvPMI, VM: u.Tag, Arg1: uint64(len(u.buffer))})
+	}
 	if u.OnPMI != nil {
 		u.OnPMI()
 	}

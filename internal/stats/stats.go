@@ -97,7 +97,11 @@ func (h *Histogram) Max() float64 {
 }
 
 // Quantile returns the value at quantile q in [0, 1]. Exact min/max are
-// returned at the extremes; interior quantiles carry bucket-width error.
+// returned at the extremes. Interior quantiles carry bucket-width error
+// but are always clamped to [Min(), Max()]: the geometric bucket
+// midpoint can overshoot the largest observation (or undercut the
+// smallest) in the extreme occupied buckets, and reporting a latency
+// that was never observed would poison downstream metrics.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -144,6 +148,15 @@ func (h *Histogram) Merge(other *Histogram) {
 			h.max = other.max
 		}
 	}
+}
+
+// Clone returns an independent copy of h. Snapshot consumers (the obs
+// registry) clone so later observations never mutate a published
+// snapshot.
+func (h *Histogram) Clone() *Histogram {
+	out := *h
+	out.buckets = append([]uint64(nil), h.buckets...)
+	return &out
 }
 
 // Reset discards all observations.

@@ -230,3 +230,38 @@ func TestTableNoHeaders(t *testing.T) {
 		t.Errorf("header rule printed without headers:\n%s", out)
 	}
 }
+
+// TestHistogramSingleValueQuantile is the regression for quantile
+// clamping: with one observation every quantile IS that observation. The
+// value 1000 sits in a bucket whose geometric midpoint (~1036) overshoots
+// it, so an unclamped implementation would report a latency that never
+// happened.
+func TestHistogramSingleValueQuantile(t *testing.T) {
+	for _, v := range []float64{1000, 3, 987654} {
+		h := NewHistogram()
+		h.Observe(v)
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single value %v: Quantile(%v) = %v, want exactly the observation", v, q, got)
+			}
+		}
+		if h.Quantile(0.5) != h.Max() {
+			t.Errorf("single value %v: Quantile(0.5) = %v != Max() = %v", v, h.Quantile(0.5), h.Max())
+		}
+	}
+}
+
+func TestHistogramCloneIndependent(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	h.Observe(20)
+	c := h.Clone()
+	h.Observe(1e6)
+	if c.Count() != 2 || c.Max() != 20 {
+		t.Fatalf("clone tracked the original: count=%d max=%v", c.Count(), c.Max())
+	}
+	c.Observe(5)
+	if h.Count() != 3 || h.Min() != 10 {
+		t.Fatalf("original tracked the clone: count=%d min=%v", h.Count(), h.Min())
+	}
+}

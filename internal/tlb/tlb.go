@@ -190,10 +190,14 @@ func (t *TLB) FlushSingle(gvpn uint64) {
 }
 
 // FlushAll issues a full invalidation (invept), destroying all entries.
+// The per-set round-robin cursors reset too: a flush empties every set,
+// so replacement state surviving it would make post-flush eviction
+// victims depend on pre-flush history.
 func (t *TLB) FlushAll() {
 	t.stats.FullFlushes++
 	clear(t.ways)
 	clear(t.front[:])
+	clear(t.next)
 }
 
 // Scan visits every valid entry (audit/diagnostic use); returning false

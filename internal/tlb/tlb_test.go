@@ -209,3 +209,48 @@ func BenchmarkLookupHit(b *testing.B) {
 		tl.Lookup(42)
 	}
 }
+
+// TestFlushAllResetsReplacementState pins the invept model: a full flush
+// empties every set, so the per-set round-robin cursors must reset too.
+// Replaying an identical insert sequence after a flush must pick the same
+// eviction victims — and leave the same survivors — as a fresh TLB.
+func TestFlushAllResetsReplacementState(t *testing.T) {
+	const entries, ways = 8, 2 // 4 sets
+	load := func(tl *TLB) {
+		// Keys 0,4,8,12 all map to set 0: two fills then two evictions,
+		// advancing set 0's cursor.
+		for _, k := range []uint64{0, 4, 8, 12, 1, 5, 9} {
+			tl.Insert(k, k+100)
+		}
+	}
+	survivors := func(tl *TLB) map[uint64]uint64 {
+		got := map[uint64]uint64{}
+		tl.Scan(func(gvpn, hpfn uint64) bool {
+			got[gvpn] = hpfn
+			return true
+		})
+		return got
+	}
+
+	flushed := mustNew(t, entries, ways)
+	load(flushed) // advance cursors away from their reset position
+	flushed.FlushAll()
+	flushed.ResetStats()
+	load(flushed)
+
+	fresh := mustNew(t, entries, ways)
+	load(fresh)
+
+	fs, gs := survivors(fresh), survivors(flushed)
+	if len(fs) != len(gs) {
+		t.Fatalf("entry counts differ: fresh %d, flushed %d", len(fs), len(gs))
+	}
+	for k, v := range fs {
+		if gs[k] != v {
+			t.Errorf("after flush, key %d → %d; fresh TLB has %d (stale replacement cursor)", k, gs[k], v)
+		}
+	}
+	if f, g := fresh.Stats(), flushed.Stats(); f != g {
+		t.Errorf("stats diverge: fresh %+v, flushed %+v", f, g)
+	}
+}

@@ -100,7 +100,7 @@ func (p *Memtis) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 		panic(fmt.Sprintf("tmm: bad Memtis PEBS config: %v", err))
 	}
 	p.unit = unit
-	vm.PEBS = unit
+	vm.WirePEBS(unit)
 	if err := unit.Arm(); err != nil {
 		panic(fmt.Sprintf("tmm: Memtis PEBS arm failed: %v", err))
 	}

@@ -201,3 +201,63 @@ func TestReplayMatchesLiveRunExactly(t *testing.T) {
 		t.Fatalf("replay runtime %v differs from live %v", replayed, live)
 	}
 }
+
+// TestCorruptInputs drives the replayer through malformed streams: every
+// variant must surface an error (construction failure or Err() after the
+// stream stops) without panicking.
+func TestCorruptInputs(t *testing.T) {
+	// A known-good trace to corrupt.
+	var good bytes.Buffer
+	count, err := Record(&good, workload.NewGUPS(256, 5_000, 2), newFakeAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		// wantHeaderErr: NewReplayer itself must fail. Otherwise the
+		// replayer must construct, then report the damage via Err().
+		wantHeaderErr bool
+	}{
+		{name: "empty", data: nil, wantHeaderErr: true},
+		{name: "short magic", data: []byte("DM"), wantHeaderErr: true},
+		{name: "bad magic", data: append([]byte("XXXX"), good.Bytes()[4:]...), wantHeaderErr: true},
+		{name: "wrong version", data: func() []byte {
+			d := append([]byte(nil), good.Bytes()...)
+			d[4] = 99 // version uvarint follows the 4-byte magic
+			return d
+		}(), wantHeaderErr: true},
+		{name: "truncated header", data: good.Bytes()[:7], wantHeaderErr: true},
+		{name: "truncated mid-stream", data: good.Bytes()[:good.Len()/2]},
+		{name: "truncated mid-varint", data: good.Bytes()[:good.Len()-1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rp, err := NewReplayer("corrupt", bytes.NewReader(tc.data), count, 0)
+			if tc.wantHeaderErr {
+				if err == nil {
+					t.Fatal("NewReplayer accepted a corrupt header")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("header parse failed unexpectedly: %v", err)
+			}
+			rp.Setup(newFakeAS())
+			// Drain; the stream must terminate (done=true) despite damage.
+			buf := make([]workload.Access, 512)
+			for i := 0; ; i++ {
+				if i > 1_000_000 {
+					t.Fatal("corrupt stream never terminated")
+				}
+				if _, done := rp.Fill(buf); done {
+					break
+				}
+			}
+			if rp.Err() == nil {
+				t.Fatal("truncated stream drained without Err()")
+			}
+		})
+	}
+}
