@@ -1,0 +1,84 @@
+// demeter-lint is the repo's static-analysis gate: a multichecker over
+// the analyzers in internal/analysis that turns the simulator's runtime
+// contracts — determinism, byte-identical reports, a 0 allocs/op access
+// fast path, handled constructor errors — into compile-time checks.
+//
+// Usage:
+//
+//	go run ./cmd/demeter-lint ./...             # whole repo (CI gate)
+//	go run ./cmd/demeter-lint ./internal/tlb    # one package
+//	go run ./cmd/demeter-lint -only simdet ./...
+//	go run ./cmd/demeter-lint -list
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors. Suppress individual findings with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it; the reason is
+// mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"demeter/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: demeter-lint [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := analysis.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demeter-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demeter-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demeter-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demeter-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demeter-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "demeter-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,190 @@
+// Package analysis is demeter's static-analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// driver model on top of the standard library's go/ast and go/types.
+//
+// The repo's core contracts — byte-identical experiment reports at any
+// -parallel setting, a 0 allocs/op access fast path, all randomness
+// flowing through internal/simrand — are runtime-tested elsewhere; the
+// analyzers in this package turn them into compile-time facts:
+//
+//   - simdet:       no wall clocks, ambient randomness, environment reads,
+//     or order-dependent map iteration in simulation packages
+//   - mapiter:      no map iteration feeding report/journal/JSON output
+//     without an intervening sort
+//   - hotpath:      functions annotated //demeter:hotpath contain no
+//     allocating constructs
+//   - errpropagate: no discarded errors from constructors or
+//     Commit/Rollback paths under internal/
+//
+// Suppression: a finding is silenced by a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or on the line directly above it. The reason is
+// mandatory; an allow without one suppresses nothing. The hotpath
+// analyzer additionally keys off //demeter:hotpath annotations in a
+// function's doc comment.
+//
+// The x/tools module is deliberately not imported: the build must work in
+// a hermetic environment with only the Go toolchain present, so the
+// driver (Load + Run), the fixture harness (analysistest) and the
+// multichecker (cmd/demeter-lint) are all local code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors the x/tools analysis
+// API shape so the checks could be ported to a real multichecker wholesale
+// if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> suppressions.
+	Name string
+	// Doc is a one-paragraph description, shown by demeter-lint -list.
+	Doc string
+	// Run performs the check on one package and reports findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow  map[allowKey]bool
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf reports a finding at pos unless a //lint:allow suppression
+// covers its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow[allowKey{file: position.Filename, line: position.Line, analyzer: p.Analyzer.Name}] {
+		return
+	}
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: position, Message: fmt.Sprintf(format, args...)})
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var allowRE = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9_]*)\s+(\S.*)$`)
+
+// buildAllowIndex scans a file's comments for //lint:allow directives.
+// Each well-formed directive (analyzer name plus a non-empty reason)
+// suppresses that analyzer on the comment's own line and on the line
+// immediately after it, which covers both the trailing form
+//
+//	foo()          //lint:allow simdet wall clock feeds only the log line
+//
+// and the preceding-line form
+//
+//	//lint:allow simdet wall clock feeds only the log line
+//	foo()
+func buildAllowIndex(fset *token.FileSet, files []*ast.File, analyzer string, idx map[allowKey]bool) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil || m[1] != analyzer {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				idx[allowKey{file: pos.Filename, line: pos.Line, analyzer: analyzer}] = true
+				idx[allowKey{file: pos.Filename, line: pos.Line + 1, analyzer: analyzer}] = true
+			}
+		}
+	}
+}
+
+// Run applies each analyzer to each package and returns all findings
+// sorted by position. An analyzer error (not a finding) aborts the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				PkgPath:   pkg.Path,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				allow:     map[allowKey]bool{},
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			buildAllowIndex(pkg.Fset, pkg.Files, a.Name, pass.allow)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{Simdet, Mapiter, Hotpath, Errpropagate}
+}
+
+// ByName resolves a comma-separated analyzer list ("simdet,hotpath").
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

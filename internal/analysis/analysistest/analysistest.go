@@ -1,0 +1,129 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixture source,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k, v := range m { // want `map iteration calls fmt.Println`
+//
+// Each `// want` comment holds one or more quoted regular expressions;
+// every reported diagnostic must match an expectation on its exact line
+// and every expectation must be consumed by exactly one diagnostic, so a
+// fixture proves both that an analyzer fires on the violation and that
+// it stays silent elsewhere (including on //lint:allow suppressed lines).
+//
+// Fixtures live in a GOPATH-style tree rooted at testdata/src: the
+// import path demeter/internal/tlb resolves to
+// testdata/src/demeter/internal/tlb, letting fixtures impersonate
+// simulation packages without touching the real ones. Imports that do
+// not exist under testdata/src fall back to the real module and then the
+// standard library.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"demeter/internal/analysis"
+)
+
+// TestData returns the absolute path of the caller's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return dir
+}
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("^//\\s*want\\s+(.*)$")
+var patRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads each fixture package beneath testdata/src, applies the
+// analyzer, and reports mismatches between diagnostics and `// want`
+// expectations as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.SrcDir = filepath.Join(testdata, "src")
+	pkgs, err := loader.LoadPackages(pkgPaths...)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					pats := patRE.FindAllString(m[1], -1)
+					if len(pats) == 0 {
+						t.Errorf("%s:%d: malformed want comment (no quoted patterns): %s", pos.Filename, pos.Line, c.Text)
+						continue
+					}
+					for _, p := range pats {
+						text := p
+						if p[0] == '"' {
+							if u, err := strconv.Unquote(p); err == nil {
+								text = u
+							}
+						} else {
+							text = p[1 : len(p)-1]
+						}
+						re, err := regexp.Compile(text)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, p, err)
+							continue
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: text})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"demeter/internal/analysis"
+	"demeter/internal/analysis/analysistest"
+)
+
+func TestErrpropagateFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Errpropagate, "demeter/internal/errfix")
+}
+
+// TestErrpropagateIgnoresNonInternalPackages proves the path gate: the
+// plainfix fixture discards a constructor error outside internal/ and
+// must produce no findings.
+func TestErrpropagateIgnoresNonInternalPackages(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Errpropagate, "plainfix")
+}

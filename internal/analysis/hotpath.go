@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathAnnotation marks a function as part of the simulator's access
+// fast path when it appears in the function's doc comment:
+//
+//	//demeter:hotpath
+//	func (vm *VM) Access(gva uint64, write bool) sim.Duration { … }
+//
+// Annotated functions are the same set a warm TestAccessPathZeroAlloc
+// loop executes, so "this function must not allocate" is checked twice:
+// statically here, dynamically by the alloc counter.
+const HotpathAnnotation = "demeter:hotpath"
+
+// Hotpath forbids allocating constructs inside functions annotated
+// //demeter:hotpath: fmt calls, closure literals, map/slice composite
+// literals, &composite literals, make/new, append, conversions that box
+// into an interface (explicit or via argument passing), string
+// concatenation, string<->[]byte conversions, map writes, defer, and go.
+//
+// Arguments of panic calls are exempt: a hot-path function that dies on
+// corruption may format its last words, since that path never returns.
+// Deliberate allocations (e.g. appending to a buffer preallocated at
+// arm time) carry //lint:allow hotpath <reason>.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in functions annotated //demeter:hotpath",
+	Run:  runHotpath,
+}
+
+// IsHotpathAnnotated reports whether a function declaration carries the
+// //demeter:hotpath annotation.
+func IsHotpathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == HotpathAnnotation || strings.HasPrefix(text, HotpathAnnotation+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !IsHotpathAnnotated(fd) {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path %s allocates", fd.Name.Name)
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path %s allocates and delays work", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in hot path %s allocates", fd.Name.Name)
+			return false
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal in hot path %s allocates", fd.Name.Name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal in hot path %s allocates", fd.Name.Name)
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hot path %s heap-allocates", fd.Name.Name)
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates", fd.Name.Name)
+					}
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapType(info.TypeOf(idx.X)) {
+					pass.Reportf(lhs.Pos(), "map write in hot path %s may allocate", fd.Name.Name)
+				}
+			}
+			return true
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && isMapType(info.TypeOf(idx.X)) {
+				pass.Reportf(n.Pos(), "map write in hot path %s may allocate", fd.Name.Name)
+			}
+			return true
+		case *ast.CallExpr:
+			return visitHotpathCall(pass, fd, n)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// visitHotpathCall checks one call expression; the return value tells
+// ast.Inspect whether to descend into the call's children.
+func visitHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	info := pass.TypesInfo
+	if b := calleeBuiltin(info, call); b != "" {
+		switch b {
+		case "panic":
+			// Dying words: the panic path never returns, so formatting the
+			// message there cannot perturb steady-state allocation.
+			return false
+		case "append":
+			pass.Reportf(call.Pos(), "append in hot path %s may grow its backing array (preallocate, or lint:allow with the capacity argument)", fd.Name.Name)
+		case "make", "new":
+			pass.Reportf(call.Pos(), "%s in hot path %s allocates", b, fd.Name.Name)
+		}
+		return true
+	}
+	if isConversion(info, call) {
+		target := info.TypeOf(call)
+		if target == nil {
+			return true
+		}
+		if isInterfaceType(target) {
+			pass.Reportf(call.Pos(), "conversion to interface in hot path %s boxes its operand", fd.Name.Name)
+			return true
+		}
+		if len(call.Args) == 1 {
+			from := info.TypeOf(call.Args[0])
+			if isStringSliceConv(from, target) {
+				pass.Reportf(call.Pos(), "string/slice conversion in hot path %s copies and allocates", fd.Name.Name)
+			}
+		}
+		return true
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates", fn.Name(), fd.Name.Name)
+		return true
+	}
+	// Implicit boxing: a concrete argument passed for an interface
+	// parameter allocates. The callee's signature covers static calls,
+	// method calls, and calls through function values alike.
+	sigType := info.TypeOf(call.Fun)
+	if sigType == nil {
+		return true
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				if i == params.Len()-1 {
+					pt = params.At(params.Len() - 1).Type()
+				}
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterfaceType(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isInterfaceType(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in hot path %s", at, pt, fd.Name.Name)
+	}
+	return true
+}
+
+// isStringSliceConv reports a conversion between string and []byte/[]rune.
+func isStringSliceConv(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	return (isStr(from) && isByteSlice(to)) || (isByteSlice(from) && isStr(to))
+}

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// The file set and the stdlib importer are process-global: the source
+// importer type-checks the standard library from GOROOT/src (there is no
+// export data in a hermetic toolchain-only environment), which costs a
+// couple of seconds the first time — sharing the cache across Loaders
+// makes every later fixture test and self-check essentially free.
+var (
+	loadMu      sync.Mutex
+	sharedFset  = token.NewFileSet()
+	stdImporter types.Importer
+)
+
+func stdImport(path string) (*types.Package, error) {
+	if stdImporter == nil {
+		stdImporter = importer.ForCompiler(sharedFset, "source", nil)
+	}
+	return stdImporter.Import(path)
+}
+
+// Loader resolves import paths to directories, parses and type-checks
+// packages, and memoizes the result. Test files (_test.go) are not
+// loaded: the analyzers guard production simulation code, and fixture
+// packages under testdata intentionally contain violations.
+type Loader struct {
+	// ModulePath is the module's import prefix ("demeter").
+	ModulePath string
+	// ModuleDir is the directory holding the module's go.mod.
+	ModuleDir string
+	// SrcDir, when set, is a GOPATH-style source root consulted before
+	// the module: import path p resolves to SrcDir/p. The analysistest
+	// fixture harness uses it so fixtures can impersonate simulation
+	// package paths like demeter/internal/tlb.
+	SrcDir string
+
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the repository containing dir
+// (found by walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{ModulePath: modPath, ModuleDir: root}, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load expands the given patterns ("./...", "demeter/internal/tlb", …)
+// and returns the matched packages, type-checked, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	seen := map[string]bool{}
+	var out []*Package
+	for _, pat := range patterns {
+		paths, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			pkg, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadPackages loads exact import paths, bypassing pattern expansion.
+// The fixture harness uses it for GOPATH-style paths under SrcDir that
+// are not module-prefixed ("hotpathfix", "demeter/internal/tlb", …).
+func (l *Loader) LoadPackages(paths ...string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// expand turns one pattern into concrete import paths. Supported forms:
+// ".", "./dir", "./...", "./dir/...", and module-path forms of the same
+// ("demeter", "demeter/internal/tlb", "demeter/...").
+func (l *Loader) expand(pattern string) ([]string, error) {
+	pattern = strings.TrimSuffix(pattern, "/")
+	rel, recursive := pattern, false
+	if r, ok := strings.CutSuffix(rel, "/..."); ok {
+		rel, recursive = r, true
+	}
+	switch {
+	case rel == "." || rel == l.ModulePath:
+		rel = ""
+	case strings.HasPrefix(rel, "./"):
+		rel = strings.TrimPrefix(rel, "./")
+	case strings.HasPrefix(rel, l.ModulePath+"/"):
+		rel = strings.TrimPrefix(rel, l.ModulePath+"/")
+	default:
+		return nil, fmt.Errorf("analysis: unsupported pattern %q (want ./… or %s/…)", pattern, l.ModulePath)
+	}
+	start := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	if !recursive {
+		if !hasGoFiles(start) {
+			return nil, fmt.Errorf("analysis: no Go files in %s", start)
+		}
+		return []string{l.pathFor(rel)}, nil
+	}
+	var paths []string
+	err := filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			sub, err := filepath.Rel(l.ModuleDir, p)
+			if err != nil {
+				return err
+			}
+			paths = append(paths, l.pathFor(filepath.ToSlash(sub)))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func (l *Loader) pathFor(rel string) string {
+	if rel == "" || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + rel
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer so loaded packages can depend on each
+// other and on the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.SrcDir != "" {
+		dir := filepath.Join(l.SrcDir, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			pkg, err := l.loadDir(path, dir)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return stdImport(path)
+}
+
+// load resolves a module-internal (or SrcDir fixture) import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.SrcDir != "" {
+		dir := filepath.Join(l.SrcDir, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return l.loadDir(path, dir)
+		}
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return l.loadDir(path, filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+}
+
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, sharedFset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %v", path, typeErrs[0])
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: sharedFset, Files: files, Types: tpkg, Info: info}
+	if l.pkgs == nil {
+		l.pkgs = map[string]*Package{}
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

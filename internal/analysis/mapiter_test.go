@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"demeter/internal/analysis"
+	"demeter/internal/analysis/analysistest"
+)
+
+func TestMapiterFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Mapiter, "mapiterfix")
+}

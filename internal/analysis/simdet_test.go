@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"demeter/internal/analysis"
+	"demeter/internal/analysis/analysistest"
+)
+
+func TestSimdetFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Simdet, "demeter/internal/tlb")
+}
+
+// TestSimdetIgnoresNonSimulationPackages proves the package gate: the
+// plainfix fixture uses time.Now freely and must produce no findings.
+func TestSimdetIgnoresNonSimulationPackages(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Simdet, "plainfix")
+}
+
+func TestIsSimulationPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"demeter/internal/tlb", true},
+		{"demeter/internal/hypervisor", true},
+		{"demeter/internal/experiments", true},
+		{"demeter/internal/obs", false},
+		{"demeter/internal/simrand", false},
+		{"demeter/internal/analysis", false},
+		{"demeter/cmd/demeter-sim", false},
+		{"tlb", false},
+	}
+	for _, c := range cases {
+		if got := analysis.IsSimulationPackage(c.path); got != c.want {
+			t.Errorf("IsSimulationPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

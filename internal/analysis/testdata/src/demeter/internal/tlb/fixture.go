@@ -1,0 +1,76 @@
+// Package tlb is a simdet fixture: its import path impersonates a
+// simulation package so the analyzer treats it as determinism-critical.
+package tlb
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand in simulation package`
+	"os"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()   // want `time.Now in simulation package`
+	_ = time.Since(t) // want `time.Since in simulation package`
+	return t.Unix()
+}
+
+func allowedWallClock() time.Time {
+	return time.Now() //lint:allow simdet host progress line only, never simulation state
+}
+
+func allowedAbove() time.Time {
+	//lint:allow simdet host progress line only, never simulation state
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//lint:allow simdet
+	return time.Now() // want `time.Now in simulation package`
+}
+
+func env() string {
+	return os.Getenv("DEMETER_SEED") // want `os.Getenv in simulation package`
+}
+
+func ambientRand() int {
+	return rand.Intn(6)
+}
+
+func observe(int) {}
+
+func mapRanges(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // pure aggregation: allowed
+		sum += v
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make(map[int]int)
+	for _, v := range m { // fold into another map: allowed
+		counts[v]++
+	}
+	for k, v := range m { // want `map iteration calls fmt.Println`
+		fmt.Println(k, v)
+	}
+	for k := range m { // want `map iteration returns early`
+		if k == "done" {
+			return 1
+		}
+	}
+	for range m { // want `map iteration breaks early`
+		break
+	}
+	for _, v := range m { // want `map iteration calls observe`
+		observe(v)
+	}
+	//lint:allow simdet observe is commutative over values
+	for _, v := range m {
+		observe(v)
+	}
+	return sum
+}

@@ -1,0 +1,62 @@
+// Package hotpathfix exercises the hotpath analyzer: allocating
+// constructs are forbidden only inside //demeter:hotpath functions.
+package hotpathfix
+
+import "fmt"
+
+type counter struct{ n int }
+
+func sink(v any) { _ = v }
+
+// clean is annotated and allocation-free; dying words in a panic are
+// exempt.
+//
+//demeter:hotpath
+func clean(c *counter, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	c.n++
+	if s < 0 {
+		panic(fmt.Sprintf("negative sum %d", s))
+	}
+	return s
+}
+
+// unchecked contains every forbidden construct but carries no
+// annotation, so nothing is reported.
+func unchecked(m map[int]int, s string) func() {
+	fmt.Println(len(m))
+	m[1] = 2
+	_ = s + s
+	_ = []byte(s)
+	sink(42)
+	return func() {}
+}
+
+//demeter:hotpath
+func dirty(c *counter, xs []int, s string, m map[int]int) {
+	fmt.Println(c.n)        // want `fmt.Println in hot path dirty allocates`
+	f := func() {}          // want `closure literal in hot path dirty allocates`
+	f()
+	buf := make([]int, 4)   // want `make in hot path dirty allocates`
+	xs = append(xs, 1)      // want `append in hot path dirty may grow`
+	lit := []int{1, 2}      // want `slice literal in hot path dirty allocates`
+	ml := map[int]int{}     // want `map literal in hot path dirty allocates`
+	p := &counter{}         // want `&composite literal in hot path dirty heap-allocates`
+	cat := s + s            // want `string concatenation in hot path dirty allocates`
+	bs := []byte(s)         // want `string/slice conversion in hot path dirty copies`
+	m[1] = 2                // want `map write in hot path dirty may allocate`
+	sink(c.n)               // want `argument boxes int into interface`
+	var i any = any(c.n)    // want `conversion to interface in hot path dirty boxes`
+	defer sink(i)           // want `defer in hot path dirty allocates`
+	_, _, _, _, _, _, _, _ = buf, xs, lit, ml, p, cat, bs, i
+}
+
+//demeter:hotpath
+func suppressed(xs []int) []int {
+	//lint:allow hotpath xs is preallocated by the caller to full capacity
+	xs = append(xs, 1)
+	return xs
+}

@@ -1,0 +1,45 @@
+// Package mapiterfix exercises the mapiter analyzer: map iteration
+// reaching output sinks must be flagged, sorted-slice emission must not.
+package mapiterfix
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"demeter/internal/obs"
+)
+
+func emit(m map[string]int) {
+	for k, v := range m { // want `map iteration feeds fmt.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+	var b strings.Builder
+	for k := range m { // want `map iteration feeds strings.WriteString`
+		b.WriteString(k)
+	}
+	for _, v := range m { // want `map iteration feeds json.Marshal`
+		data, err := json.Marshal(v)
+		_, _ = data, err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { // collecting keys is not emission
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice iteration after sort: allowed
+		fmt.Println(k, m[k])
+	}
+	//lint:allow mapiter debug dump, byte order irrelevant
+	for k := range m {
+		fmt.Fprintln(os.Stderr, k)
+	}
+}
+
+func journal(j *obs.Journal, m map[string]uint64) {
+	for _, v := range m { // want `map iteration feeds obs.Append`
+		j.Append(obs.Event{Arg1: v})
+	}
+}

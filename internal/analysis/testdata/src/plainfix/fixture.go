@@ -1,0 +1,24 @@
+// Package plainfix proves package gating: it is neither a simulation
+// package nor under internal/, so simdet and errpropagate must stay
+// silent on patterns they would flag elsewhere.
+package plainfix
+
+import (
+	"errors"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // fine outside simulation packages
+}
+
+// NewThing is a constructor whose error may be dropped here: the package
+// is not under internal/.
+func NewThing() (int, error) {
+	return 0, errors.New("nope")
+}
+
+func drop() int {
+	v, _ := NewThing()
+	return v
+}

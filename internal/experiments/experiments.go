@@ -457,8 +457,8 @@ func (s Scale) splitScale(nVMs int) Scale {
 // result set keyed by design.
 func geoMeanRuntimes(byDesign map[string][]float64) map[string]float64 {
 	out := make(map[string]float64, len(byDesign))
-	for d, xs := range byDesign {
-		out[d] = stats.GeoMean(xs)
+	for _, d := range sortedKeys(byDesign) {
+		out[d] = stats.GeoMean(byDesign[d])
 	}
 	return out
 }

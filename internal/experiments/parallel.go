@@ -104,13 +104,14 @@ type Report struct {
 func RunExperiments(s Scale, es []Experiment) []Report {
 	reports := make([]Report, len(es))
 	runOne := func(i int) {
-		start := time.Now()
+		start := time.Now() //lint:allow simdet host wall clock feeds only Report.Elapsed, never simulation state
 		// Each experiment gets its own metrics accumulator; the section is
 		// rendered after Run returns (post-barrier), so leaf completion
 		// order under -parallel cannot change the bytes.
 		si := s
 		si.obsAcc = &obsAccum{}
 		out := es[i].Run(si) + si.obsAcc.section()
+		//lint:allow simdet host wall clock feeds only Report.Elapsed, never simulation state
 		reports[i] = Report{ID: es[i].ID, Title: es[i].Title, Output: out, Elapsed: time.Since(start)}
 	}
 	if workerTokens.Load() == nil {

@@ -138,12 +138,14 @@ func (in *Injector) ArmMagnitude(p Point, rate, magnitude float64) {
 
 // Fire reports whether p fires at this check. Nil injectors and unarmed
 // points never fire and consume no randomness.
+//demeter:hotpath
 func (in *Injector) Fire(p Point) bool {
 	ok, _ := in.FireMagnitude(p)
 	return ok
 }
 
 // FireMagnitude is Fire plus the point's configured magnitude.
+//demeter:hotpath
 func (in *Injector) FireMagnitude(p Point) (bool, float64) {
 	if in == nil {
 		return false, 0
@@ -257,10 +259,17 @@ func (s Schedule) Scale(mult float64) Schedule {
 	return out
 }
 
-// Apply arms every scheduled point on in.
+// Apply arms every scheduled point on in, in sorted point order so the
+// injector's arming sequence (and anything seeded from it) never depends
+// on map iteration order.
 func (s Schedule) Apply(in *Injector) {
-	for p, r := range s {
-		in.Arm(p, r)
+	points := make([]Point, 0, len(s))
+	for p := range s {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	for _, p := range points {
+		in.Arm(p, s[p])
 	}
 }
 

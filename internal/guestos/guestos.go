@@ -169,6 +169,7 @@ func (k *Kernel) BalloonedPages() int { return len(k.ballooned) }
 // BalloonedOn returns the number of balloon-held frames on one node.
 func (k *Kernel) BalloonedOn(node int) uint64 {
 	var n uint64
+	//lint:allow simdet NodeOf is a pure range lookup and counting is commutative
 	for f := range k.ballooned {
 		if k.Topo.NodeOf(f).ID == node {
 			n++
@@ -247,6 +248,7 @@ func (k *Kernel) ContextSwitch() {
 }
 
 // NodeOfGPFN returns the guest node id owning a guest frame.
+//demeter:hotpath
 func (k *Kernel) NodeOfGPFN(gpfn mem.Frame) int { return k.Topo.NodeOf(gpfn).ID }
 
 // Process is a guest user process: a virtual address space backed lazily.

@@ -109,12 +109,16 @@ func DefaultCostModel() CostModel {
 
 // Walk2DCost is the charged cost of a nested page-table walk with warm
 // page-walk caches.
+//
+//demeter:hotpath
 func (cm CostModel) Walk2DCost() sim.Duration {
 	return sim.Duration(float64(pagetable.Walk2DRefs) * float64(cm.PTERefLatency) * cm.PWCFactor)
 }
 
 // Walk2DCostCold is the nested walk price with cold page-walk caches
 // (right after an invept).
+//
+//demeter:hotpath
 func (cm CostModel) Walk2DCostCold() sim.Duration {
 	return sim.Duration(pagetable.Walk2DRefs) * cm.PTERefLatency
 }
@@ -390,6 +394,8 @@ func (vm *VM) ChargeHost(component string, d sim.Duration) {
 // ensureBacked guarantees gpfn has a host frame, allocating on the tier
 // backing its guest node. When that pool is exhausted the allocation
 // spills to any other pool (overcommit), recorded in stats.
+//
+//demeter:hotpath
 func (vm *VM) ensureBacked(gpfn uint64) (*pagetable.Entry, bool) {
 	if e := vm.EPT.Lookup(gpfn); e != nil {
 		return e, false
@@ -421,6 +427,8 @@ func (vm *VM) ensureBacked(gpfn uint64) (*pagetable.Entry, bool) {
 // load; a miss pays the nested walk, sets GPT/EPT A/D bits (the signal
 // A-bit trackers consume) and refills the TLB; first touches take guest
 // and EPT faults.
+//
+//demeter:hotpath
 func (vm *VM) Access(gva uint64, write bool) sim.Duration {
 	vm.stats.Accesses++
 	if write {
@@ -452,6 +460,8 @@ func (vm *VM) Access(gva uint64, write bool) sim.Duration {
 // accessMiss is the TLB-miss continuation of Access: walk, fault handling,
 // A/D maintenance, TLB refill. Kept out of Access so the hit path stays
 // small enough to inline.
+//
+//demeter:hotpath
 func (vm *VM) accessMiss(gva, gvpn uint64, write bool) sim.Duration {
 	cm := &vm.Machine.Cost
 	var cost sim.Duration
@@ -511,6 +521,8 @@ func (vm *VM) accessMiss(gva, gvpn uint64, write bool) sim.Duration {
 // congestion spike, when one is injected. Callers guarantee the access
 // landed on a non-DRAM tier (DRAM never spikes and must not consume a
 // fault-stream draw).
+//
+//demeter:hotpath
 func (vm *VM) slowTierSpike(loaded sim.Duration) sim.Duration {
 	fired, magn := vm.Machine.Fault.FireMagnitude(mem.FaultSlowTierSpike)
 	if !fired {

@@ -187,7 +187,16 @@ func NewUnit(cfg Config) (*Unit, error) {
 	if cfg.MaxPeriodShift <= 0 {
 		cfg.MaxPeriodShift = 6
 	}
-	return &Unit{cfg: cfg, counter: cfg.SamplePeriod, period: cfg.SamplePeriod}, nil
+	// The sample buffer is preallocated at full capacity so the record
+	// path's append never grows a backing array (the hotpath analyzer's
+	// suppression in Record relies on this, as does the 0 allocs/op
+	// access-path contract).
+	return &Unit{
+		cfg:     cfg,
+		counter: cfg.SamplePeriod,
+		period:  cfg.SamplePeriod,
+		buffer:  make([]Sample, 0, cfg.BufferEntries),
+	}, nil
 }
 
 // Arm enables sampling. Under a pre-v5 PEBS with a lazily populated EPT
@@ -217,6 +226,7 @@ func (u *Unit) Stats() Stats { return u.stats }
 // latency the modelled load latency, fastTier whether the backing frame is
 // FMEM. It is the per-access hot path and does nothing beyond a counter
 // decrement for non-qualifying or between-period accesses.
+//demeter:hotpath
 func (u *Unit) Record(gvpn uint64, latency sim.Duration, fastTier bool) {
 	if !u.armed {
 		return
@@ -263,6 +273,7 @@ func (u *Unit) Record(gvpn uint64, latency sim.Duration, fastTier bool) {
 			return
 		}
 	}
+	//lint:allow hotpath buffer capacity is preallocated to BufferEntries at construction and Drain, and the overshoot check above bounds len
 	u.buffer = append(u.buffer, Sample{GVPN: gvpn, Latency: latency})
 	u.stats.Samples++
 }
@@ -290,6 +301,7 @@ func (u *Unit) CurrentPeriod() uint64 { return u.period }
 // tickWindow advances the adaptation window and adjusts the effective
 // period at each boundary: a storm of PMIs doubles it (shedding sample
 // and interrupt load), sustained calm halves it back toward the base.
+//demeter:hotpath
 func (u *Unit) tickWindow() {
 	if !u.cfg.AdaptivePeriod {
 		return

@@ -110,6 +110,8 @@ func (t *TLB) ResetStats() { t.stats = Stats{} }
 // Lookup returns the cached host frame for gvpn. A hit refreshes nothing
 // (replacement is round-robin, not LRU: deterministic and close enough for
 // miss-rate shaping).
+//
+//demeter:hotpath
 func (t *TLB) Lookup(gvpn uint64) (hpfn uint64, ok bool) {
 	t.stats.Lookups++
 	key := gvpn + 1
@@ -131,6 +133,8 @@ func (t *TLB) Lookup(gvpn uint64) (hpfn uint64, ok bool) {
 }
 
 // frontDrop removes key's front-cache mirror, if present.
+//
+//demeter:hotpath
 func (t *TLB) frontDrop(key uint64) {
 	if f := &t.front[(key-1)&(frontSlots-1)]; f.key == key {
 		*f = way{}
@@ -139,6 +143,8 @@ func (t *TLB) frontDrop(key uint64) {
 
 // Insert caches gvpn→hpfn after a walk, evicting round-robin within the
 // set when full. Inserting an existing gvpn updates it in place.
+//
+//demeter:hotpath
 func (t *TLB) Insert(gvpn, hpfn uint64) {
 	key := gvpn + 1
 	si := gvpn & t.setMask
