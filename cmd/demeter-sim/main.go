@@ -11,6 +11,7 @@
 //	demeter-sim -parallel 0 run           # fan out across all cores
 //	demeter-sim -scale tiny figure2       # quick smoke run
 //	demeter-sim -scale tiny chaos         # fault-injection run with invariant checks
+//	demeter-sim hunt -seed 1              # adversarial scenario search -> corpus
 //	demeter-sim bench -quick              # regression numbers → BENCH_results.json
 //	demeter-sim bench -rebaseline         # refresh BENCH_baseline.json
 //	demeter-sim -metrics m.json figure2   # dump the merged metrics snapshot
@@ -30,11 +31,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"demeter/internal/experiments"
+	"demeter/internal/explore"
 	"demeter/internal/fault"
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
@@ -53,8 +56,14 @@ var (
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	quick      = flag.Bool("quick", false, "bench: tiny scale and a representative experiment subset")
 	benchOut   = flag.String("out", "BENCH_results.json", "bench: output path")
-	faults     = flag.String("faults", "", "chaos fault schedule, e.g. 'migrate.copy-fail=0.05,balloon.op-timeout=0.2' (empty = every point at its default rate)")
-	faultSeed  = flag.Uint64("fault-seed", 1, "chaos fault injector seed (same seed + schedule = identical run)")
+	faults     = flag.String("faults", "", "chaos/hunt fault schedule, e.g. 'migrate.copy-fail=0.05,balloon.op-timeout=0.2' (empty = every point at its default rate)")
+	seed       = flag.Uint64("seed", 1, "chaos/hunt scenario seed (same seed + config = identical run)")
+	floor      = flag.Float64("floor", 0, "chaos/hunt throughput floor vs the fault-free rung (0 = default 0.5)")
+	ladder     = flag.String("ladder", "", "chaos ladder multipliers, e.g. '0,1,4,8'; rung 0 must be 0 (empty = default 0,1,4)")
+	gens       = flag.Int("generations", 3, "hunt: breeding rounds")
+	population = flag.Int("population", 8, "hunt: candidates per generation")
+	budget     = flag.Int("budget", 0, "hunt: max candidate evaluations incl. minimizer probes (0 = unlimited)")
+	corpusDir  = flag.String("corpus", "internal/explore/corpus", "hunt: freeze minimized failures here ('' = report only)")
 	metricsOut = flag.String("metrics", "", "write the merged metrics snapshot (JSON) to this file")
 	eventsOut  = flag.String("events", "", "write event journals (chrome://tracing JSONL) to this file")
 	topN       = flag.Int("top", 10, "top: number of counters to print")
@@ -119,9 +128,12 @@ func main() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
 		}
 		fmt.Printf("%-22s %s\n", "chaos", "Fault-injection ladder with end-of-run invariant checks")
+		fmt.Printf("%-22s %s\n", "hunt", "Adversarial scenario search; freezes failures into the corpus")
 		fmt.Printf("%-22s %s\n", "top", "Run experiments and print the hottest counters")
 	case "chaos":
-		runChaos(scale, *faults, *faultSeed)
+		runChaos(scale, *faults, *seed, *floor, *ladder)
+	case "hunt":
+		runHunt(*scaleFlag)
 	case "run", "all":
 		es, err := selectExperiments(*only, *skip)
 		if err != nil {
@@ -471,10 +483,11 @@ func writeMemProfile() {
 }
 
 // runChaos runs the fault-injection ladder and exits nonzero when an
-// invariant was violated.
-func runChaos(s experiments.Scale, spec string, seed uint64) {
+// invariant was violated (the report is printed either way).
+func runChaos(s experiments.Scale, spec string, seed uint64, floor float64, ladderSpec string) {
 	cfg := experiments.DefaultChaosConfig()
 	cfg.Seed = seed
+	cfg.Floor = floor // 0 = keep the default
 	if spec != "" {
 		sched, err := fault.ParseSchedule(spec)
 		if err != nil {
@@ -482,6 +495,20 @@ func runChaos(s experiments.Scale, spec string, seed uint64) {
 			os.Exit(2)
 		}
 		cfg.Schedule = sched
+	}
+	if ladderSpec != "" {
+		rungs, err := parseLadder(ladderSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -ladder: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Ladder = rungs
+	}
+	// Config problems are usage errors (exit 2); only invariant
+	// violations from the run itself exit 1.
+	if err := cfg.Normalized(s).Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "bad chaos config: %v\n", err)
+		os.Exit(2)
 	}
 	fmt.Printf("=== chaos: fault-injection ladder\n")
 	fmt.Printf("    scale: %s, VMs: %d, seed: %d\n\n", s.Name, s.VMs, seed)
@@ -495,10 +522,76 @@ func runChaos(s experiments.Scale, spec string, seed uint64) {
 	}
 }
 
+// parseLadder parses a comma-separated multiplier list.
+func parseLadder(spec string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad multiplier %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty ladder")
+	}
+	return out, nil
+}
+
+// runHunt runs the adversarial scenario search. Hunts default to tiny
+// scale (candidate evaluation is the inner loop; quick-scale ladders
+// would make every generation minutes long) unless -scale was given
+// explicitly. Finding failures is the hunt's purpose, so the exit status
+// is zero even when scenarios were found and frozen.
+func runHunt(scaleName string) {
+	explicitScale := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scale" {
+			explicitScale = true
+		}
+	})
+	if !explicitScale {
+		scaleName = "tiny"
+	}
+	cfg := explore.Config{
+		Seed:        *seed,
+		Generations: *gens,
+		Population:  *population,
+		Budget:      *budget,
+		CorpusDir:   *corpusDir,
+		ScaleName:   scaleName,
+		Floor:       *floor,
+	}
+	if *faults != "" {
+		sched, err := fault.ParseSchedule(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.BaseSchedule = sched
+	}
+	if *floor < 0 || *floor > 1 {
+		fmt.Fprintf(os.Stderr, "bad -floor: %g outside [0, 1]\n", *floor)
+		os.Exit(2)
+	}
+	start := time.Now()
+	res, err := explore.Hunt(cfg)
+	fmt.Print(res.Report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hunt: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `demeter-sim — Demeter (SOSP'25) reproduction harness
 
-usage: demeter-sim [flags] <experiment-id | list | run | top | bench | chaos>
+usage: demeter-sim [flags] <experiment-id | list | run | top | bench | chaos | hunt>
 
 subcommands:
   list    show available experiments
@@ -508,6 +601,12 @@ subcommands:
   bench   write regression numbers to BENCH_results.json (-quick for CI,
           -rebaseline to refresh BENCH_baseline.json, -gate to enforce it)
   chaos   fault-injection ladder with end-of-run invariant checks
+          (-seed/-faults/-floor/-ladder; exits 1 on violations, report
+          still printed)
+  hunt    adversarial scenario search: breed scenarios (-generations,
+          -population, -budget), minimize failures, freeze them under
+          -corpus as deterministic regression cases (defaults to -scale
+          tiny; reports are byte-identical at any -parallel)
   <id>    run one experiment
 
 observability: -metrics FILE dumps the merged metrics snapshot as JSON;

@@ -24,6 +24,7 @@ var simPackages = map[string]bool{
 	"workload":    true,
 	"fault":       true,
 	"experiments": true,
+	"explore":     true,
 	"core":        true,
 	"mem":         true,
 }

@@ -12,48 +12,63 @@ import (
 	"demeter/internal/hypervisor"
 	"demeter/internal/obs"
 	"demeter/internal/sim"
-	"demeter/internal/workload"
 )
 
 // ChaosConfig parameterizes a chaos run: a seed-driven fault schedule is
 // applied at each rung of an intensity ladder while a full Demeter stack
-// (double balloons, QoS rebalancer, PEBS-fed relocation) runs GUPS, and
-// end-of-run invariants assert that no layer leaked or wedged.
+// (double balloons, QoS rebalancer, policy-driven relocation) runs the
+// configured workloads, and end-of-run invariants assert that no layer
+// leaked or wedged. The zero value means "the default scenario"; the
+// explorer (internal/explore) mutates every field, so the struct is the
+// scenario-search space and serializes to JSON for frozen corpus cases.
 type ChaosConfig struct {
 	// Seed drives the fault injector; the same seed and schedule always
 	// produce the same run (and the same report, bit for bit).
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Schedule maps fault points to base rates; nil means every
 	// registered point at its default rate.
-	Schedule fault.Schedule
+	Schedule fault.Schedule `json:"schedule"`
 	// Ladder lists the schedule multipliers to run, one rung each. Rung 0
-	// should be fault-free (multiplier 0) — it is the degradation
+	// must be fault-free (multiplier 0) — it is the degradation
 	// baseline. Nil means {0, 1, 4}.
-	Ladder []float64
+	Ladder []float64 `json:"ladder"`
 	// VMs overrides the cluster size (0 = the scale's s.VMs).
-	VMs int
+	VMs int `json:"vms"`
 	// Floor is the minimum acceptable throughput at any rung as a
 	// fraction of the fault-free baseline (0 = 0.5).
-	Floor float64
+	Floor float64 `json:"floor"`
+	// Design selects the per-VM TMM policy ("" = "demeter"); any entry of
+	// ChaosDesigns is valid.
+	Design string `json:"design,omitempty"`
+	// Tier selects the slow medium: "pmem" (default) or "cxl".
+	Tier string `json:"tier,omitempty"`
+	// Workloads names the per-VM workloads, cycled over VM index; any
+	// name Scale.NewApp accepts plus "gups". Nil means {"gups"}.
+	Workloads []string `json:"workloads,omitempty"`
+	// Overcommit shrinks the host FMEM pool: the pool is the per-VM sum
+	// divided by this ratio, so 1.25 means the fast tier can back only
+	// 80% of what the guests were promised. Values <= 1 mean fully
+	// backed (the default).
+	Overcommit float64 `json:"overcommit,omitempty"`
 }
+
+// ChaosDesigns lists the policies a chaos scenario may select. tpp-h is
+// absent: hypervisor-managed guests need a different node layout than the
+// double-balloon provisioning path builds.
+var ChaosDesigns = []string{"demeter", "tpp", "memtis", "nomad", "vtmm"}
+
+// ChaosWorkloads lists the workload names a chaos scenario may mix.
+var ChaosWorkloads = append([]string{"gups"}, Apps...)
 
 // DefaultChaosConfig returns the standard ladder at seed 1.
 func DefaultChaosConfig() ChaosConfig {
 	return ChaosConfig{Seed: 1, Ladder: []float64{0, 1, 4}, Floor: 0.5}
 }
 
-// chaosRung is one ladder step's outcome.
-type chaosRung struct {
-	mult   float64
-	thpt   float64
-	report string
-	errs   []string
-}
-
-// RunChaos runs the fault-injection ladder and returns a deterministic
-// report. The error is non-nil when any invariant was violated at any
-// rung; the report always includes the full per-layer accounting.
-func RunChaos(s Scale, cfg ChaosConfig) (string, error) {
+// Normalized returns the config with every zero-valued field replaced by
+// its default for scale s. The result is self-describing — freezing it
+// pins the full scenario even if defaults change later.
+func (cfg ChaosConfig) Normalized(s Scale) ChaosConfig {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -69,40 +84,138 @@ func RunChaos(s Scale, cfg ChaosConfig) (string, error) {
 	if cfg.Floor == 0 {
 		cfg.Floor = 0.5
 	}
+	if cfg.Design == "" {
+		cfg.Design = "demeter"
+	}
+	if cfg.Tier == "" {
+		cfg.Tier = "pmem"
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"gups"}
+	}
+	if cfg.Overcommit < 1 {
+		cfg.Overcommit = 1
+	}
+	return cfg
+}
 
-	var b strings.Builder
-	fmt.Fprintf(&b, "Chaos: %d VMs under schedule %q, seed %d\n\n", cfg.VMs, cfg.Schedule.String(), cfg.Seed)
+// Validate rejects configs outside the scenario space: unknown designs,
+// tiers, workloads or fault points, bad rates, an empty ladder, a faulty
+// baseline rung, or a non-positive VM count.
+func (cfg ChaosConfig) Validate() error {
+	if err := cfg.Schedule.Validate(); err != nil {
+		return err
+	}
+	if cfg.VMs < 1 {
+		return fmt.Errorf("chaos: VMs must be >= 1, got %d", cfg.VMs)
+	}
+	if len(cfg.Ladder) == 0 {
+		return fmt.Errorf("chaos: ladder must have at least one rung")
+	}
+	if cfg.Ladder[0] != 0 {
+		return fmt.Errorf("chaos: ladder rung 0 must be fault-free (multiplier 0), got %g", cfg.Ladder[0])
+	}
+	for _, m := range cfg.Ladder {
+		if math.IsNaN(m) || m < 0 {
+			return fmt.Errorf("chaos: bad ladder multiplier %g", m)
+		}
+	}
+	if math.IsNaN(cfg.Floor) || cfg.Floor < 0 || cfg.Floor > 1 {
+		return fmt.Errorf("chaos: floor %g outside [0, 1]", cfg.Floor)
+	}
+	if !containsString(ChaosDesigns, cfg.Design) {
+		return fmt.Errorf("chaos: unknown design %q", cfg.Design)
+	}
+	if cfg.Tier != "pmem" && cfg.Tier != "cxl" {
+		return fmt.Errorf("chaos: unknown tier %q", cfg.Tier)
+	}
+	for _, w := range cfg.Workloads {
+		if !containsString(ChaosWorkloads, w) {
+			return fmt.Errorf("chaos: unknown workload %q", w)
+		}
+	}
+	if math.IsNaN(cfg.Overcommit) || cfg.Overcommit < 1 || cfg.Overcommit > 4 {
+		return fmt.Errorf("chaos: overcommit %g outside [1, 4]", cfg.Overcommit)
+	}
+	return nil
+}
 
+func containsString(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// RungResult is one ladder step's structured outcome. Report carries the
+// rendered per-rung text block (deterministic for a given seed and
+// config); Snapshot carries the rung's end-of-run metrics so callers (the
+// explorer's fitness function) can score outlier behavior that violates
+// no invariant.
+type RungResult struct {
+	Mult       float64
+	Throughput float64
+	Violations []string
+	Report     string
+	Snapshot   obs.Snapshot
+}
+
+// RunChaosLadder runs every rung of cfg's ladder as an independent leaf
+// run under the worker pool and derives the cross-rung floor check. It is
+// the per-candidate entry point the explorer calls: structured results
+// instead of one rendered report. The error is non-nil only for invalid
+// configs; invariant violations are data, not errors, at this layer.
+func RunChaosLadder(s Scale, cfg ChaosConfig) ([]RungResult, error) {
+	cfg = cfg.Normalized(s)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	// Each rung is an independent leaf run: its own engine and its own
 	// injector seeded identically, so the fault stream at rung i does not
 	// depend on which rungs ran before (or concurrently with) it. The
 	// baseline ratio and floor check are derived after collection.
-	rungs := runIndexed(len(cfg.Ladder), func(i int) chaosRung {
+	rungs := runIndexed(len(cfg.Ladder), func(i int) RungResult {
 		return runChaosRung(s, cfg, cfg.Ladder[i])
 	})
-
-	var failures []string
 	for i := range rungs {
 		r := &rungs[i]
-		if i > 0 && rungs[0].thpt > 0 {
-			ratio := r.thpt / rungs[0].thpt
-			r.report += fmt.Sprintf("  throughput vs baseline: %.2fx\n", ratio)
+		if i > 0 && rungs[0].Throughput > 0 {
+			ratio := r.Throughput / rungs[0].Throughput
+			r.Report += fmt.Sprintf("  throughput vs baseline: %.2fx\n", ratio)
 			if ratio < cfg.Floor {
-				r.errs = append(r.errs, fmt.Sprintf("throughput %.2fx below floor %.2fx", ratio, cfg.Floor))
+				r.Violations = append(r.Violations, fmt.Sprintf("throughput %.2fx below floor %.2fx", ratio, cfg.Floor))
 			}
 		}
-		if len(r.errs) == 0 {
-			r.report += "  invariants: OK\n"
+		if len(r.Violations) == 0 {
+			r.Report += "  invariants: OK\n"
 		} else {
-			for _, e := range r.errs {
-				r.report += fmt.Sprintf("  INVARIANT VIOLATED: %s\n", e)
-				failures = append(failures, fmt.Sprintf("x%g: %s", r.mult, e))
+			for _, e := range r.Violations {
+				r.Report += fmt.Sprintf("  INVARIANT VIOLATED: %s\n", e)
 			}
 		}
-		b.WriteString(r.report)
-		b.WriteByte('\n')
 	}
+	return rungs, nil
+}
 
+// ChaosReport assembles the ladder results into the canonical chaos
+// report. The error is non-nil when any invariant was violated at any
+// rung; the report always includes the full per-layer accounting. cfg
+// must be the normalized config the rungs were run with.
+func ChaosReport(cfg ChaosConfig, rungs []RungResult) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: %d VMs (%s, tier %s, workloads %s, overcommit %g) under schedule %q, seed %d\n\n",
+		cfg.VMs, cfg.Design, cfg.Tier, strings.Join(cfg.Workloads, "+"), cfg.Overcommit,
+		cfg.Schedule.String(), cfg.Seed)
+	var failures []string
+	for _, r := range rungs {
+		b.WriteString(r.Report)
+		b.WriteByte('\n')
+		for _, e := range r.Violations {
+			failures = append(failures, fmt.Sprintf("x%g: %s", r.Mult, e))
+		}
+	}
 	if len(failures) > 0 {
 		return b.String(), fmt.Errorf("chaos: %d invariant violation(s): %s", len(failures), strings.Join(failures, "; "))
 	}
@@ -111,17 +224,47 @@ func RunChaos(s Scale, cfg ChaosConfig) (string, error) {
 	return b.String(), nil
 }
 
+// RunChaos runs the fault-injection ladder and returns a deterministic
+// report. The error is non-nil when the config is invalid or when any
+// invariant was violated at any rung; in the latter case the report still
+// includes the full per-layer accounting.
+func RunChaos(s Scale, cfg ChaosConfig) (string, error) {
+	cfg = cfg.Normalized(s)
+	rungs, err := RunChaosLadder(s, cfg)
+	if err != nil {
+		return "", err
+	}
+	return ChaosReport(cfg, rungs)
+}
+
 // runChaosRung runs one ladder step: a fresh cluster with the schedule
-// scaled by mult, full Demeter management, then the invariant battery.
-func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
-	r := chaosRung{mult: mult}
+// scaled by mult, full Demeter provisioning plus the configured policy,
+// then the invariant battery. A panic anywhere in the run (a scenario
+// driving a layer into an unhandled state) is converted into a violation
+// instead of crashing the whole campaign — a deterministic crash is the
+// most valuable find an explorer can freeze.
+func runChaosRung(s Scale, cfg ChaosConfig, mult float64) (r RungResult) {
+	r.Mult = mult
+	defer func() {
+		if p := recover(); p != nil {
+			r.Violations = append(r.Violations, fmt.Sprintf("panic: %v", p))
+			r.Report = fmt.Sprintf("rung x%g:\n  PANIC: %v\n", mult, p)
+		}
+	}()
 	eng := sim.NewEngine()
 	n := cfg.VMs
 
 	inj := fault.NewInjector(cfg.Seed)
 	cfg.Schedule.Scale(mult).Apply(inj)
 
-	m := hypervisor.NewMachine(eng, hostTopology("pmem", s.VMFMEM*uint64(n), s.VMSMEM*uint64(n)))
+	hostFMEM := s.VMFMEM * uint64(n)
+	if cfg.Overcommit > 1 {
+		hostFMEM = uint64(float64(hostFMEM) / cfg.Overcommit)
+		if hostFMEM == 0 {
+			hostFMEM = 1
+		}
+	}
+	m := hypervisor.NewMachine(eng, hostTopology(cfg.Tier, hostFMEM, s.VMSMEM*uint64(n)))
 	m.Fault = inj // before NewVM/NewDouble so every layer inherits it
 	if s.ScanPTECost > 0 {
 		m.Cost.ScanPTECost = s.ScanPTECost
@@ -156,10 +299,19 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
 		vms = append(vms, vm)
 		doubles = append(doubles, d)
 	}
+	// Under overcommit the double balloons can retry reclaim forever on a
+	// too-small FMEM pool; bound the settling phase in simulated time so a
+	// wedged provision becomes a reported violation, not a livelock.
+	deadline := eng.Now() + 4*s.Horizon
 	for pending > 0 {
 		if !eng.Step() {
-			r.errs = append(r.errs, "provisioning never settled (balloon watchdog failed to fire)")
-			r.report = fmt.Sprintf("rung x%g:\n", mult)
+			r.Violations = append(r.Violations, "provisioning never settled (balloon watchdog failed to fire)")
+			r.Report = fmt.Sprintf("rung x%g:\n", mult)
+			return r
+		}
+		if eng.Now() > deadline {
+			r.Violations = append(r.Violations, fmt.Sprintf("provisioning did not settle within 4x horizon %v (%d VM(s) pending)", s.Horizon, pending))
+			r.Report = fmt.Sprintf("rung x%g:\n", mult)
 			return r
 		}
 	}
@@ -174,35 +326,34 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
 	reb.Start(8 * s.EpochPeriod)
 
 	var xs []*engine.Executor
+	var policies []Policy
 	var ds []*core.Demeter
 	for i, vm := range vms {
-		ccfg := core.DefaultConfig()
-		ccfg.EpochPeriod = s.EpochPeriod
-		ccfg.SamplePeriod = s.SamplePeriod
-		ccfg.Params.GranularityPages = s.Granularity
-		ccfg.MigrationBatch = s.MigrationBatch
 		// The executor's workload Setup must run before the policy
 		// attaches: the range tree snapshots the process VMAs at attach.
-		xs = append(xs, engine.NewExecutor(eng, vm,
-			workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(i)+1)))
-		d := core.New(ccfg)
-		d.Attach(eng, vm)
-		ds = append(ds, d)
+		wl := s.NewApp(cfg.Workloads[i%len(cfg.Workloads)], uint64(i)+1)
+		xs = append(xs, engine.NewExecutor(eng, vm, wl))
+		pol := s.NewPolicy(cfg.Design)
+		pol.Attach(eng, vm)
+		policies = append(policies, pol)
+		if d, ok := pol.(*core.Demeter); ok {
+			ds = append(ds, d)
+		}
 	}
 
 	// Double the horizon: faulty rungs legitimately run slower, and the
 	// degradation floor (not the horizon) is the performance assertion.
 	finished := engine.RunAll(eng, 2*s.Horizon, xs...)
 	reb.Stop()
-	for _, d := range ds {
-		d.Detach()
+	for _, pol := range policies {
+		pol.Detach()
 	}
 	for _, d := range doubles {
 		d.StopStats()
 	}
 	eng.RunUntilIdle()
 	if !finished {
-		r.errs = append(r.errs, fmt.Sprintf("cluster did not finish within 2x horizon %v", s.Horizon))
+		r.Violations = append(r.Violations, fmt.Sprintf("cluster did not finish within 2x horizon %v", s.Horizon))
 	}
 
 	// Teardown: reap any completions whose interrupts were dropped, then
@@ -210,19 +361,19 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
 	for i, d := range doubles {
 		d.Quiesce()
 		if left := d.Inflight(); left != 0 {
-			r.errs = append(r.errs, fmt.Sprintf("VM%d: %d balloon/stats requests still in flight after quiesce", i, left))
+			r.Violations = append(r.Violations, fmt.Sprintf("VM%d: %d balloon/stats requests still in flight after quiesce", i, left))
 		}
 	}
 	if err := machineAuditErr(m); err != nil {
-		r.errs = append(r.errs, err.Error())
+		r.Violations = append(r.Violations, err.Error())
 	}
 	for i, d := range doubles {
 		k := vms[i].Kernel
 		if held, ballooned := d.FMEM.Held(), k.BalloonedOn(0); held != ballooned {
-			r.errs = append(r.errs, fmt.Sprintf("VM%d: FMEM balloon holds %d but guest has %d ballooned", i, held, ballooned))
+			r.Violations = append(r.Violations, fmt.Sprintf("VM%d: FMEM balloon holds %d but guest has %d ballooned", i, held, ballooned))
 		}
 		if held, ballooned := d.SMEM.Held(), k.BalloonedOn(1); held != ballooned {
-			r.errs = append(r.errs, fmt.Sprintf("VM%d: SMEM balloon holds %d but guest has %d ballooned", i, held, ballooned))
+			r.Violations = append(r.Violations, fmt.Sprintf("VM%d: SMEM balloon holds %d but guest has %d ballooned", i, held, ballooned))
 		}
 	}
 
@@ -235,16 +386,19 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) chaosRung {
 		}
 	}
 	if wall > 0 {
-		r.thpt = float64(ops) / wall.Seconds()
+		r.Throughput = float64(ops) / wall.Seconds()
 	}
 
-	r.report = chaosRungReport(mult, r.thpt, inj, vms, ds, doubles)
+	r.Report = chaosRungReport(mult, r.Throughput, inj, vms, ds, doubles)
+	r.Snapshot = o.Reg.Snapshot()
 	s.finishObs(fmt.Sprintf("chaos-x%g", mult), o)
 	return r
 }
 
 // chaosRungReport renders one rung's fault and per-layer counters. Output
-// is fully deterministic for a given seed/schedule.
+// is fully deterministic for a given seed/schedule. The core line reports
+// zeros for non-demeter designs — their policy-side counters live in the
+// metrics snapshot instead.
 func chaosRungReport(mult, thpt float64, inj *fault.Injector, vms []*hypervisor.VM, ds []*core.Demeter, doubles []*balloon.Double) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "rung x%g: throughput %.4g ops/s\n", mult, thpt)

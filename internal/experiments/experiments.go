@@ -148,6 +148,19 @@ func Tiny() Scale {
 	return s
 }
 
+// ScaleByName resolves a scale by its CLI name. Frozen explorer corpus
+// cases record the name, so replays resolve the scale the same way the
+// command line does.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick(), nil
+	case "tiny":
+		return Tiny(), nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (want quick or tiny)", name)
+}
+
 // Designs evaluated across the figures.
 var GuestDesigns = []string{"demeter", "tpp", "memtis", "nomad"}
 

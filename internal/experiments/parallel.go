@@ -78,6 +78,31 @@ func runIndexed[T any](n int, job func(i int) T) []T {
 	return out
 }
 
+// FanOut runs n coordinator jobs: concurrently when parallelism is
+// enabled, strictly in index order otherwise. Unlike runIndexed jobs,
+// coordinators never acquire worker tokens, so a job may itself fan leaf
+// cluster runs out through runIndexed (an experiment over its rows, the
+// explorer over a candidate's ladder rungs) without deadlocking the pool.
+// Jobs must write results only to their own index; both modes then
+// produce identical output.
+func FanOut(n int, job func(i int)) {
+	if workerTokens.Load() == nil {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			job(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // benchAccesses tallies guest memory accesses at the audit chokepoint
 // every run passes through on teardown; the bench harness reads it to
 // report accesses/sec per experiment.
@@ -114,20 +139,6 @@ func RunExperiments(s Scale, es []Experiment) []Report {
 		//lint:allow simdet host wall clock feeds only Report.Elapsed, never simulation state
 		reports[i] = Report{ID: es[i].ID, Title: es[i].Title, Output: out, Elapsed: time.Since(start)}
 	}
-	if workerTokens.Load() == nil {
-		for i := range es {
-			runOne(i)
-		}
-		return reports
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(es))
-	for i := range es {
-		go func(i int) {
-			defer wg.Done()
-			runOne(i)
-		}(i)
-	}
-	wg.Wait()
+	FanOut(len(es), runOne)
 	return reports
 }

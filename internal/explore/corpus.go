@@ -1,0 +1,149 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Case is one frozen regression scenario: the minimized seed+config, the
+// failure kinds it reproduces, and the byte-exact report and error the
+// scenario produced when frozen. Replay re-runs the scenario and demands
+// the same bytes — any drift means simulator behavior changed under a
+// scenario known to break an invariant, which must be a conscious
+// decision (fix the regression or re-freeze the case), never silent.
+type Case struct {
+	Name           string   `json:"name"`
+	FoundBy        string   `json:"found_by"`
+	Kinds          []string `json:"kinds"`
+	Scenario       Scenario `json:"scenario"`
+	ExpectedError  string   `json:"expected_error"`
+	ExpectedReport string   `json:"expected_report"`
+}
+
+// NewCase freezes an eval into a corpus case.
+func NewCase(ev Eval, foundBy string) Case {
+	return Case{
+		Name:           "case-" + ev.Scenario.Hash(),
+		FoundBy:        foundBy,
+		Kinds:          kindSet(ev),
+		Scenario:       ev.Scenario,
+		ExpectedError:  ev.Err,
+		ExpectedReport: ev.Report,
+	}
+}
+
+// WriteCase writes c to dir as <name>.json, creating dir if needed. When
+// a file of that name already exists the case is not rewritten (the name
+// embeds the scenario hash, so an existing file is the same scenario —
+// possibly with an older expected report that a re-freeze must not
+// clobber silently) and wrote is false.
+func WriteCase(dir string, c Case) (path string, wrote bool, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", false, err
+	}
+	path = filepath.Join(dir, c.Name+".json")
+	if _, err := os.Stat(path); err == nil {
+		return path, false, nil
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return path, false, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return path, false, err
+	}
+	return path, true, nil
+}
+
+// LoadCorpus reads every *.json case in dir, sorted by file name. A
+// missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]Case, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var cases []Case
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var c Case
+		if err := json.Unmarshal(data, &c); err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", name, err)
+		}
+		if err := c.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", name, err)
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// Replay re-runs a frozen case and verifies the failure reproduces
+// byte-identically: same chaos error, same report. On drift it returns an
+// error with a line-precise diff of the first divergence.
+func Replay(c Case) error {
+	ev := Evaluate(c.Scenario)
+	if ev.Err != c.ExpectedError {
+		return fmt.Errorf("case %s: error drifted\n  got:  %q\n  want: %q\n%s",
+			c.Name, ev.Err, c.ExpectedError, diffLines(ev.Report, c.ExpectedReport))
+	}
+	if ev.Report != c.ExpectedReport {
+		return fmt.Errorf("case %s: report drifted\n%s", c.Name, diffLines(ev.Report, c.ExpectedReport))
+	}
+	return nil
+}
+
+// ReplayCorpus replays every case in dir and returns how many were
+// checked. The first drifting case fails the whole replay.
+func ReplayCorpus(dir string) (int, error) {
+	cases, err := LoadCorpus(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range cases {
+		if err := Replay(c); err != nil {
+			return len(cases), err
+		}
+	}
+	return len(cases), nil
+}
+
+// diffLines renders the first differing line between got and want.
+func diffLines(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	n := len(g)
+	if len(w) > n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		var gl, wl string
+		gOK, wOK := i < len(g), i < len(w)
+		if gOK {
+			gl = g[i]
+		}
+		if wOK {
+			wl = w[i]
+		}
+		if gl != wl || gOK != wOK {
+			return fmt.Sprintf("  first diff at line %d:\n    got:  %q\n    want: %q", i+1, gl, wl)
+		}
+	}
+	return "  (no line-level diff: texts are equal)"
+}

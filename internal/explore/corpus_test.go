@@ -1,0 +1,88 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+// corpusDir is the checked-in regression corpus. Hunts freeze minimized
+// failures here; this package's tests replay them as a blocking gate.
+const corpusDir = "corpus"
+
+// TestCorpusReplay replays every frozen case byte-exactly. An empty
+// corpus fails the test: the gate exists to hold ground already won, so
+// deleting the cases must be a visible act, not a silent skip.
+func TestCorpusReplay(t *testing.T) {
+	n, err := ReplayCorpus(corpusDir)
+	if err != nil {
+		t.Fatalf("corpus replay failed after %d case(s): %v", n, err)
+	}
+	if n == 0 {
+		t.Fatal("corpus is empty: expected at least one frozen case under internal/explore/corpus/")
+	}
+	t.Logf("replayed %d frozen case(s)", n)
+}
+
+// TestReplayDetectsReportDrift tampers with a frozen case's expected
+// report and asserts Replay fails with a line-precise diff — the error a
+// developer sees when a simulator change breaks a frozen scenario.
+func TestReplayDetectsReportDrift(t *testing.T) {
+	cases, err := LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Skip("no frozen cases to tamper with")
+	}
+	c := cases[0]
+	c.ExpectedReport = "tampered first line\n" + c.ExpectedReport
+	err = Replay(c)
+	if err == nil {
+		t.Fatal("Replay accepted a tampered expected report")
+	}
+	if !strings.Contains(err.Error(), "first diff at line 1") {
+		t.Errorf("drift error is not line-precise: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"tampered first line"`) {
+		t.Errorf("drift error does not quote the expected line: %v", err)
+	}
+}
+
+// TestReplayDetectsErrorDrift tampers with the expected error string and
+// asserts Replay reports the divergence.
+func TestReplayDetectsErrorDrift(t *testing.T) {
+	cases, err := LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Skip("no frozen cases to tamper with")
+	}
+	c := cases[0]
+	c.ExpectedError = c.ExpectedError + " (tampered)"
+	err = Replay(c)
+	if err == nil {
+		t.Fatal("Replay accepted a tampered expected error")
+	}
+	if !strings.Contains(err.Error(), "error drifted") {
+		t.Errorf("unexpected drift error: %v", err)
+	}
+}
+
+// TestWriteCaseRefusesOverwrite verifies a frozen case is never
+// clobbered: re-freezing the same scenario is a no-op with wrote=false.
+func TestWriteCaseRefusesOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	c := Case{Name: "case-deadbeef0000", ExpectedError: "x"}
+	if _, wrote, err := WriteCase(dir, c); err != nil || !wrote {
+		t.Fatalf("first write: wrote=%v err=%v", wrote, err)
+	}
+	c.ExpectedError = "y"
+	path, wrote, err := WriteCase(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote {
+		t.Fatalf("second write clobbered existing case at %s", path)
+	}
+}

@@ -1,0 +1,394 @@
+// Package explore is the simulator's adversarial scenario search: a
+// seed-deterministic evolutionary explorer that breeds chaos scenarios —
+// workload mixes, VM counts, overcommit ratios, fault schedules, ladder
+// shapes, tier matrices and TMM policy choices — and scores each
+// candidate with a fitness function over invariant violations and outlier
+// metrics from the run's observability snapshot. Candidates fan out
+// through the experiments worker pool exactly like experiment leaf runs,
+// so a hunt report is byte-identical at every -parallel setting.
+//
+// Every failure the explorer finds is delta-debugged down to a minimal
+// scenario (fewer VMs, fewer fault points, shorter ladder, simpler
+// workload) that still reproduces the same failure kind, then frozen as a
+// seed+config+expected-report JSON case under corpus/. Frozen cases
+// replay byte-identically forever: the corpus is a regression gate (go
+// test and CI), so the covered scenario space only grows — the gem5 /
+// Virtuoso standard of reducing every observed failure to a standardized,
+// replayable experiment.
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"demeter/internal/experiments"
+	"demeter/internal/fault"
+	"demeter/internal/simrand"
+)
+
+// Scenario is one explorer candidate: a scale name plus a fully
+// normalized chaos configuration. Everything needed to reproduce a run is
+// in here (plus the code version), which is what makes frozen cases
+// self-contained.
+type Scenario struct {
+	Scale  string                  `json:"scale"`
+	Config experiments.ChaosConfig `json:"config"`
+}
+
+// Validate resolves the scale and checks the config against the scenario
+// space.
+func (sc Scenario) Validate() error {
+	if _, err := experiments.ScaleByName(sc.Scale); err != nil {
+		return err
+	}
+	return sc.Config.Validate()
+}
+
+// Hash returns a short stable identifier derived from the scenario's
+// canonical JSON (encoding/json sorts map keys, so two equal scenarios
+// always hash equal). Corpus files are named by it, which is also how
+// duplicate finds dedup.
+func (sc Scenario) Hash() string {
+	data, err := json.Marshal(sc)
+	if err != nil {
+		panic(fmt.Sprintf("explore: scenario marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// Eval is one evaluated candidate: the structured rung results, the
+// canonical chaos report, the chaos error string ("" when every invariant
+// held) and the fitness score.
+type Eval struct {
+	Scenario Scenario
+	Rungs    []experiments.RungResult
+	Fitness  Fitness
+	Report   string
+	Err      string
+}
+
+// Violations flattens the per-rung violations with their rung multiplier
+// prefix, in ladder order.
+func (ev Eval) Violations() []string {
+	var out []string
+	for _, r := range ev.Rungs {
+		for _, v := range r.Violations {
+			out = append(out, fmt.Sprintf("x%g: %s", r.Mult, v))
+		}
+	}
+	return out
+}
+
+// Failed reports whether the candidate violated any invariant.
+func (ev Eval) Failed() bool { return ev.Err != "" }
+
+// Evaluate runs one candidate's full ladder and scores it. It is pure:
+// the same scenario always returns the same Eval, no matter where or when
+// it runs — the property that lets Hunt fan candidates out and still
+// produce byte-identical reports.
+func Evaluate(sc Scenario) Eval {
+	ev := Eval{Scenario: sc}
+	s, err := experiments.ScaleByName(sc.Scale)
+	if err != nil {
+		ev.Err = err.Error()
+		return ev
+	}
+	cfg := sc.Config.Normalized(s)
+	rungs, err := experiments.RunChaosLadder(s, cfg)
+	if err != nil {
+		ev.Err = err.Error()
+		return ev
+	}
+	report, cerr := experiments.ChaosReport(cfg, rungs)
+	ev.Rungs = rungs
+	ev.Report = report
+	ev.Fitness = Score(rungs)
+	if cerr != nil {
+		ev.Err = cerr.Error()
+	}
+	return ev
+}
+
+// Config parameterizes a hunt.
+type Config struct {
+	// Seed drives mutation and every candidate's fault injector. Same
+	// seed + same knobs = byte-identical hunt.
+	Seed uint64
+	// Generations is the number of breeding rounds (default 3).
+	Generations int
+	// Population is the candidate count per generation (default 8).
+	Population int
+	// Budget caps total candidate evaluations, minimizer probes included
+	// (0 = unlimited). When the budget runs out mid-generation the
+	// population is truncated deterministically; a minimizer that runs
+	// out freezes its best reduction so far.
+	Budget int
+	// CorpusDir is where minimized failures freeze ("" = report only).
+	CorpusDir string
+	// ScaleName selects the experiment scale (default "tiny").
+	ScaleName string
+	// Floor is the throughput floor every candidate asserts (default
+	// 0.5). It is held fixed across mutation: tightening the assertion
+	// would let the explorer "find" failures by moving the goalposts.
+	Floor float64
+	// BaseSchedule seeds generation 0's scenario (nil = every registered
+	// point at its default rate); mutation walks from there.
+	BaseSchedule fault.Schedule
+}
+
+func (cfg Config) normalized() Config {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 3
+	}
+	if cfg.Population <= 0 {
+		cfg.Population = 8
+	}
+	if cfg.ScaleName == "" {
+		cfg.ScaleName = "tiny"
+	}
+	if cfg.Floor == 0 {
+		cfg.Floor = 0.5
+	}
+	return cfg
+}
+
+// Result summarizes a hunt.
+type Result struct {
+	// Report is the deterministic end-of-run report.
+	Report string
+	// Evaluations counts candidate runs, minimizer probes included.
+	Evaluations int
+	// Found counts failing candidates; Minimized how many were reduced;
+	// Frozen how many new corpus cases were written; Duplicates how many
+	// minimized to an already-frozen scenario.
+	Found, Minimized, Frozen, Duplicates int
+	// FrozenFiles lists the corpus files written, in discovery order.
+	FrozenFiles []string
+	// BestFitness records the best score per generation.
+	BestFitness []float64
+}
+
+// elites is the number of top scenarios that parent the next generation.
+const elites = 3
+
+// Hunt breeds scenarios for cfg.Generations rounds, evaluates each
+// population through the experiments worker pool, minimizes and freezes
+// every failure, and returns a deterministic report. Finding failures is
+// the explorer's job, so failures are data in the Result, not an error;
+// the error covers config problems and corpus I/O only.
+func Hunt(cfg Config) (Result, error) {
+	cfg = cfg.normalized()
+	s, err := experiments.ScaleByName(cfg.ScaleName)
+	if err != nil {
+		return Result{}, err
+	}
+
+	root := simrand.New(cfg.Seed)
+	mut := newMutator(root.Derive(0x6875_6e74), s) // "hunt"
+	base := Scenario{
+		Scale: cfg.ScaleName,
+		Config: experiments.ChaosConfig{
+			Seed:     cfg.Seed,
+			Floor:    cfg.Floor,
+			Schedule: cfg.BaseSchedule.Clone(),
+		}.Normalized(s),
+	}
+	if err := base.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	var b strings.Builder
+	fmt.Fprintf(&b, "hunt: scale %s, seed %d, %d generation(s), population %d, budget %s\n",
+		s.Name, cfg.Seed, cfg.Generations, cfg.Population, budgetString(cfg.Budget))
+
+	budgetLeft := func() int {
+		if cfg.Budget <= 0 {
+			return int(^uint(0) >> 1) // unlimited
+		}
+		return cfg.Budget - res.Evaluations
+	}
+
+	// frozen tracks minimized-scenario hashes seen this run so two
+	// candidates that reduce to the same scenario freeze once.
+	frozen := map[string]bool{}
+	var pool []Eval // elite pool carried across generations
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Breeding is sequential and happens before the fan-out, so the
+		// mutation stream never depends on evaluation scheduling.
+		var parents []Scenario
+		if gen == 0 {
+			parents = []Scenario{base}
+		} else {
+			for _, ev := range pool {
+				parents = append(parents, ev.Scenario)
+			}
+		}
+		var popn []Scenario
+		if gen == 0 {
+			popn = append(popn, base)
+		}
+		for len(popn) < cfg.Population {
+			parent := parents[len(popn)%len(parents)]
+			popn = append(popn, mut.mutate(parent))
+		}
+		if n := budgetLeft(); len(popn) > n {
+			popn = popn[:n]
+		}
+		if len(popn) == 0 {
+			fmt.Fprintf(&b, "gen %d: budget exhausted\n", gen)
+			break
+		}
+
+		// Candidate evaluation mirrors RunExperiments: one token-free
+		// coordinator per candidate, ladder rungs as pooled leaf runs.
+		evs := make([]Eval, len(popn))
+		experiments.FanOut(len(popn), func(i int) { evs[i] = Evaluate(popn[i]) })
+		res.Evaluations += len(evs)
+
+		best := 0
+		for i := range evs {
+			if evs[i].Fitness.Score > evs[best].Fitness.Score {
+				best = i
+			}
+		}
+		res.BestFitness = append(res.BestFitness, evs[best].Fitness.Score)
+		fmt.Fprintf(&b, "gen %d: evaluated %d, best fitness %.6g [%s] %s\n",
+			gen, len(evs), evs[best].Fitness.Score, evs[best].Scenario.Hash(), evs[best].Fitness)
+
+		// Minimize and freeze failures in candidate order (deterministic
+		// regardless of which goroutine finished first).
+		for i := range evs {
+			ev := evs[i]
+			if !ev.Failed() {
+				continue
+			}
+			res.Found++
+			kinds := kindSet(ev)
+			fmt.Fprintf(&b, "  failure [%s] kinds=%s: %d violation(s)\n",
+				ev.Scenario.Hash(), strings.Join(kinds, "+"), len(ev.Violations()))
+			min, probes := Minimize(ev, budgetLeft)
+			res.Evaluations += probes
+			if min.Scenario.Hash() != ev.Scenario.Hash() {
+				res.Minimized++
+				fmt.Fprintf(&b, "  minimized [%s -> %s] in %d probe(s): %s\n",
+					ev.Scenario.Hash(), min.Scenario.Hash(), probes, shrinkSummary(ev.Scenario, min.Scenario))
+			} else {
+				fmt.Fprintf(&b, "  already minimal [%s] after %d probe(s)\n", ev.Scenario.Hash(), probes)
+			}
+			h := min.Scenario.Hash()
+			if frozen[h] {
+				res.Duplicates++
+				fmt.Fprintf(&b, "  duplicate of frozen case %s\n", h)
+				continue
+			}
+			frozen[h] = true
+			if cfg.CorpusDir == "" {
+				continue
+			}
+			c := NewCase(min, fmt.Sprintf("hunt -seed %d -generations %d -population %d (gen %d)",
+				cfg.Seed, cfg.Generations, cfg.Population, gen))
+			path, wrote, err := WriteCase(cfg.CorpusDir, c)
+			if err != nil {
+				return res, fmt.Errorf("explore: freeze %s: %w", h, err)
+			}
+			if !wrote {
+				res.Duplicates++
+				fmt.Fprintf(&b, "  already frozen at %s\n", path)
+				continue
+			}
+			res.Frozen++
+			res.FrozenFiles = append(res.FrozenFiles, path)
+			fmt.Fprintf(&b, "  frozen %s\n", path)
+		}
+
+		// Selection: elite pool = top scenarios across everything
+		// evaluated so far, ranked by (fitness desc, hash asc) so ties
+		// cannot depend on scheduling.
+		pool = selectElites(append(pool, evs...), elites)
+	}
+
+	fmt.Fprintf(&b, "hunt done: %d evaluation(s), %d failure(s) found, %d minimized, %d frozen, %d duplicate(s)\n",
+		res.Evaluations, res.Found, res.Minimized, res.Frozen, res.Duplicates)
+	if len(res.BestFitness) > 0 {
+		fmt.Fprintf(&b, "best fitness per generation:")
+		for _, f := range res.BestFitness {
+			fmt.Fprintf(&b, " %.6g", f)
+		}
+		b.WriteByte('\n')
+	}
+	res.Report = b.String()
+	return res, nil
+}
+
+func budgetString(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// selectElites returns the top n evals by (score desc, hash asc),
+// deduplicated by scenario hash.
+func selectElites(evs []Eval, n int) []Eval {
+	seen := map[string]bool{}
+	var uniq []Eval
+	for _, ev := range evs {
+		h := ev.Scenario.Hash()
+		if !seen[h] {
+			seen[h] = true
+			uniq = append(uniq, ev)
+		}
+	}
+	// Insertion sort: the pool is tiny and the order must be total.
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0 && eliteLess(uniq[j], uniq[j-1]); j-- {
+			uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+		}
+	}
+	if len(uniq) > n {
+		uniq = uniq[:n]
+	}
+	return uniq
+}
+
+func eliteLess(a, b Eval) bool {
+	if a.Fitness.Score != b.Fitness.Score {
+		return a.Fitness.Score > b.Fitness.Score
+	}
+	return a.Scenario.Hash() < b.Scenario.Hash()
+}
+
+// shrinkSummary renders what the minimizer removed, dimension by
+// dimension.
+func shrinkSummary(from, to Scenario) string {
+	var parts []string
+	if from.Config.VMs != to.Config.VMs {
+		parts = append(parts, fmt.Sprintf("VMs %d->%d", from.Config.VMs, to.Config.VMs))
+	}
+	if len(from.Config.Schedule) != len(to.Config.Schedule) {
+		parts = append(parts, fmt.Sprintf("fault points %d->%d", len(from.Config.Schedule), len(to.Config.Schedule)))
+	}
+	if len(from.Config.Ladder) != len(to.Config.Ladder) {
+		parts = append(parts, fmt.Sprintf("ladder %d->%d rungs", len(from.Config.Ladder), len(to.Config.Ladder)))
+	}
+	fw, tw := strings.Join(from.Config.Workloads, "+"), strings.Join(to.Config.Workloads, "+")
+	if fw != tw {
+		parts = append(parts, fmt.Sprintf("workloads %s->%s", fw, tw))
+	}
+	if from.Config.Overcommit != to.Config.Overcommit {
+		parts = append(parts, fmt.Sprintf("overcommit %g->%g", from.Config.Overcommit, to.Config.Overcommit))
+	}
+	if len(parts) == 0 {
+		return "no dimension shrunk"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,186 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"demeter/internal/experiments"
+	"demeter/internal/simrand"
+)
+
+// huntConfig is the small deterministic hunt the tests share: two
+// generations of four candidates on the tiny scale is enough to breed at
+// least one failing scenario from seed 3 while keeping the test fast.
+func huntConfig(corpusDir string) Config {
+	return Config{
+		Seed:        3,
+		Generations: 2,
+		Population:  4,
+		ScaleName:   "tiny",
+		CorpusDir:   corpusDir,
+	}
+}
+
+// readCorpusBytes maps file base name to file contents for every frozen
+// case under dir.
+func readCorpusBytes(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatalf("read corpus dir: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read corpus case: %v", err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestHuntDeterministicAcrossParallelism is the explorer's core
+// guarantee: the same seed and knobs produce a byte-identical hunt
+// report and byte-identical frozen cases whether candidates run
+// sequentially or race through an 8-worker pool.
+func TestHuntDeterministicAcrossParallelism(t *testing.T) {
+	defer experiments.SetParallelism(1)
+
+	experiments.SetParallelism(1)
+	dirSeq := t.TempDir()
+	seq, err := Hunt(huntConfig(dirSeq))
+	if err != nil {
+		t.Fatalf("sequential hunt: %v", err)
+	}
+
+	experiments.SetParallelism(8)
+	dirPar := t.TempDir()
+	par, err := Hunt(huntConfig(dirPar))
+	if err != nil {
+		t.Fatalf("parallel hunt: %v", err)
+	}
+
+	// The report names frozen files under the per-run corpus dir;
+	// normalize that one environmental input before comparing bytes.
+	wantReport := strings.ReplaceAll(seq.Report, dirSeq, "CORPUS")
+	gotReport := strings.ReplaceAll(par.Report, dirPar, "CORPUS")
+	if gotReport != wantReport {
+		t.Errorf("hunt report differs between -parallel 1 and -parallel 8\n%s", diffLines(gotReport, wantReport))
+	}
+	if seq.Evaluations != par.Evaluations || seq.Found != par.Found || seq.Frozen != par.Frozen {
+		t.Errorf("hunt counters differ: sequential %+v vs parallel %+v", seq, par)
+	}
+
+	sb, pb := readCorpusBytes(t, dirSeq), readCorpusBytes(t, dirPar)
+	if len(sb) != len(pb) {
+		t.Fatalf("frozen case count differs: sequential %d vs parallel %d", len(sb), len(pb))
+	}
+	for name, want := range sb {
+		got, ok := pb[name]
+		if !ok {
+			t.Errorf("case %s frozen sequentially but not in parallel", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("case %s bytes differ between -parallel 1 and -parallel 8\n%s", name, diffLines(got, want))
+		}
+	}
+}
+
+// TestHuntFindsAndFreezesFailure asserts the hunt actually earns its
+// keep: from seed 3 it must find at least one invariant-violating
+// scenario, minimize it, and freeze a loadable, replayable corpus case.
+func TestHuntFindsAndFreezesFailure(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Hunt(huntConfig(dir))
+	if err != nil {
+		t.Fatalf("hunt: %v", err)
+	}
+	if res.Found == 0 {
+		t.Fatalf("hunt found no failures; report:\n%s", res.Report)
+	}
+	if res.Frozen == 0 {
+		t.Fatalf("hunt froze no cases; report:\n%s", res.Report)
+	}
+	cases, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatalf("load frozen corpus: %v", err)
+	}
+	if len(cases) != res.Frozen {
+		t.Fatalf("loaded %d case(s), hunt reported %d frozen", len(cases), res.Frozen)
+	}
+	for _, c := range cases {
+		if len(c.Kinds) == 0 {
+			t.Errorf("case %s has no failure kinds", c.Name)
+		}
+		if err := Replay(c); err != nil {
+			t.Errorf("freshly frozen case does not replay: %v", err)
+		}
+	}
+}
+
+// TestHuntBudgetCapsEvaluations verifies the -budget knob is a hard cap
+// on candidate evaluations, minimizer probes included.
+func TestHuntBudgetCapsEvaluations(t *testing.T) {
+	cfg := huntConfig("")
+	cfg.Budget = 5
+	res, err := Hunt(cfg)
+	if err != nil {
+		t.Fatalf("hunt: %v", err)
+	}
+	if res.Evaluations > cfg.Budget {
+		t.Errorf("hunt ran %d evaluation(s), budget was %d", res.Evaluations, cfg.Budget)
+	}
+}
+
+// TestMutateStaysInScenarioSpace breeds a long chain of scenarios and
+// checks every one still validates: the mutator must never step outside
+// the space Validate admits, or frozen cases could fail to load.
+func TestMutateStaysInScenarioSpace(t *testing.T) {
+	s, err := experiments.ScaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := newMutator(simrand.New(7), s)
+	sc := Scenario{
+		Scale:  "tiny",
+		Config: experiments.ChaosConfig{Seed: 7}.Normalized(s),
+	}
+	for i := 0; i < 200; i++ {
+		next := mut.mutate(sc)
+		if err := next.Validate(); err != nil {
+			t.Fatalf("mutation %d produced invalid scenario: %v\nconfig: %+v", i, err, next.Config)
+		}
+		if len(next.Config.Schedule) == 0 {
+			t.Fatalf("mutation %d dropped every fault point", i)
+		}
+		sc = next
+	}
+}
+
+// TestMutateDoesNotAliasParent guards the deep copy: mutating a child
+// must never write through into the parent's schedule or slices.
+func TestMutateDoesNotAliasParent(t *testing.T) {
+	s, err := experiments.ScaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := Scenario{
+		Scale:  "tiny",
+		Config: experiments.ChaosConfig{Seed: 3}.Normalized(s),
+	}
+	before := parent.Hash()
+	mut := newMutator(simrand.New(3), s)
+	for i := 0; i < 50; i++ {
+		mut.mutate(parent)
+	}
+	if parent.Hash() != before {
+		t.Fatal("mutation mutated the parent scenario in place")
+	}
+}

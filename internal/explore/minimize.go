@@ -1,0 +1,167 @@
+package explore
+
+import (
+	"strings"
+)
+
+// Failure kinds. A minimized scenario must reproduce at least one kind of
+// the original failure — shrinking a floor breach into (say) a frame leak
+// would freeze a different bug under the original's name.
+const (
+	kindFloor     = "floor"
+	kindTimeout   = "timeout"
+	kindProvision = "provision"
+	kindAudit     = "audit"
+	kindBalloon   = "balloon"
+	kindInflight  = "inflight"
+	kindPanic     = "panic"
+	kindOther     = "other"
+)
+
+// kindOf classifies one violation string.
+func kindOf(v string) string {
+	switch {
+	case strings.Contains(v, "below floor"):
+		return kindFloor
+	case strings.Contains(v, "did not finish"):
+		return kindTimeout
+	case strings.Contains(v, "provisioning"):
+		return kindProvision
+	case strings.Contains(v, "audit"):
+		return kindAudit
+	case strings.Contains(v, "still in flight"):
+		return kindInflight
+	case strings.Contains(v, "balloon holds"):
+		return kindBalloon
+	case strings.Contains(v, "panic"):
+		return kindPanic
+	default:
+		return kindOther
+	}
+}
+
+// kindSet returns the sorted distinct failure kinds of an eval.
+func kindSet(ev Eval) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range ev.Rungs {
+		for _, v := range r.Violations {
+			k := kindOf(v)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	// Discovery order is ladder order (deterministic); sort for a
+	// canonical rendering.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func intersects(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Minimize delta-debugs a failing eval: it walks a fixed sequence of
+// dimension shrinks (fewer VMs, no overcommit, shorter ladder, simpler
+// workload, fewer fault points) and accepts a shrink whenever the reduced
+// scenario still reproduces one of the original failure kinds, restarting
+// the round from the smaller scenario until no shrink is accepted or the
+// budget runs out. It returns the minimized eval (the input itself when
+// nothing shrank) and the probe count. Probes run sequentially — the
+// acceptance decision at each step feeds the next candidate list — but
+// each probe's ladder still fans its rungs out through the worker pool.
+func Minimize(ev Eval, budgetLeft func() int) (Eval, int) {
+	kinds := kindSet(ev)
+	cur := ev
+	probes := 0
+	for {
+		accepted := false
+		for _, cand := range shrinks(cur) {
+			if budgetLeft() <= probes {
+				return cur, probes
+			}
+			pe := Evaluate(cand)
+			probes++
+			if pe.Failed() && intersects(kindSet(pe), kinds) {
+				cur = pe
+				accepted = true
+				break // restart the shrink round from the smaller scenario
+			}
+		}
+		if !accepted {
+			return cur, probes
+		}
+	}
+}
+
+// shrinks generates the candidate reductions of one eval, in a fixed
+// order from coarsest to finest so big wins are probed first.
+func shrinks(ev Eval) []Scenario {
+	sc := ev.Scenario
+	var out []Scenario
+	with := func(edit func(*Scenario)) {
+		child := sc
+		child.Config.Schedule = sc.Config.Schedule.Clone()
+		child.Config.Ladder = append([]float64(nil), sc.Config.Ladder...)
+		child.Config.Workloads = append([]string(nil), sc.Config.Workloads...)
+		edit(&child)
+		out = append(out, child)
+	}
+
+	// Fewer VMs: try the floor, the half, then one fewer.
+	n := sc.Config.VMs
+	for _, vms := range []int{1, n / 2, n - 1} {
+		if vms >= 1 && vms < n {
+			vms := vms
+			with(func(c *Scenario) { c.Config.VMs = vms })
+		}
+	}
+	// Remove the overcommit pressure.
+	if sc.Config.Overcommit > 1 {
+		with(func(c *Scenario) { c.Config.Overcommit = 1 })
+	}
+	// Shorter ladder: baseline plus each failing rung alone.
+	if len(sc.Config.Ladder) > 2 {
+		for _, r := range ev.Rungs {
+			if len(r.Violations) == 0 || r.Mult == 0 {
+				continue
+			}
+			mult := r.Mult
+			with(func(c *Scenario) { c.Config.Ladder = []float64{0, mult} })
+		}
+	}
+	// Rung 0 alone when the baseline itself fails (provision wedges,
+	// fault-free audit violations).
+	if len(sc.Config.Ladder) > 1 && len(ev.Rungs) > 0 && len(ev.Rungs[0].Violations) > 0 {
+		with(func(c *Scenario) { c.Config.Ladder = []float64{0} })
+	}
+	// Simpler workload: a uniform mix first, then plain gups.
+	if len(sc.Config.Workloads) > 1 {
+		first := sc.Config.Workloads[0]
+		with(func(c *Scenario) { c.Config.Workloads = []string{first} })
+	}
+	if len(sc.Config.Workloads) != 1 || sc.Config.Workloads[0] != "gups" {
+		with(func(c *Scenario) { c.Config.Workloads = []string{"gups"} })
+	}
+	// Fewer fault points: drop each in turn (sorted order).
+	if len(sc.Config.Schedule) > 1 {
+		for _, p := range sortedPoints(sc.Config.Schedule) {
+			p := p
+			with(func(c *Scenario) { delete(c.Config.Schedule, p) })
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package explore
+
+import (
+	"sort"
+
+	"demeter/internal/experiments"
+	"demeter/internal/fault"
+	"demeter/internal/simrand"
+)
+
+// mutator breeds scenarios by perturbing one to three dimensions per
+// child. All randomness flows through one simrand sub-stream owned by the
+// hunt and consumed strictly sequentially during breeding (before any
+// fan-out), so the offspring sequence is a pure function of the hunt
+// seed. Schedules are cloned before mutation — the mutator never aliases
+// a parent's live schedule.
+type mutator struct {
+	src       *simrand.Source
+	maxVMs    int
+	designs   []string
+	tiers     []string
+	workloads []string
+	points    []fault.Point // every registered point, sorted
+	// rateFactors multiply an existing (or default) rate; the up-side is
+	// heavier because harsher schedules are where failures live.
+	rateFactors []float64
+	ladderMults []float64
+	overcommits []float64
+}
+
+func newMutator(src *simrand.Source, s experiments.Scale) *mutator {
+	var points []fault.Point
+	for _, info := range fault.Points() {
+		points = append(points, info.Point)
+	}
+	maxVMs := s.VMs + 1
+	if maxVMs < 2 {
+		maxVMs = 2
+	}
+	return &mutator{
+		src:         src,
+		maxVMs:      maxVMs,
+		designs:     experiments.ChaosDesigns,
+		tiers:       []string{"pmem", "cxl"},
+		workloads:   experiments.ChaosWorkloads,
+		points:      points,
+		rateFactors: []float64{0.25, 0.5, 2, 4, 8},
+		ladderMults: []float64{0.5, 1, 2, 4, 8},
+		overcommits: []float64{1, 1, 1.05, 1.1, 1.25, 1.5},
+	}
+}
+
+// mutate returns a deep-copied child with 1-3 mutated dimensions.
+func (m *mutator) mutate(parent Scenario) Scenario {
+	child := parent
+	child.Config.Schedule = parent.Config.Schedule.Clone()
+	child.Config.Ladder = append([]float64(nil), parent.Config.Ladder...)
+	child.Config.Workloads = append([]string(nil), parent.Config.Workloads...)
+
+	for ops := 1 + m.src.Intn(3); ops > 0; ops-- {
+		switch m.src.Intn(8) {
+		case 0: // scale one fault point's rate
+			p := m.points[m.src.Intn(len(m.points))]
+			rate, armed := child.Config.Schedule[p]
+			if !armed {
+				if info, ok := fault.InfoOf(p); ok && info.DefaultRate > 0 {
+					rate = info.DefaultRate
+				} else {
+					rate = 0.01
+				}
+			}
+			rate *= m.rateFactors[m.src.Intn(len(m.rateFactors))]
+			if rate > 1 {
+				rate = 1
+			}
+			child.Config.Schedule[p] = rate
+		case 1: // toggle a fault point on/off
+			p := m.points[m.src.Intn(len(m.points))]
+			if _, armed := child.Config.Schedule[p]; armed && len(child.Config.Schedule) > 1 {
+				delete(child.Config.Schedule, p)
+			} else {
+				rate := 0.02
+				if info, ok := fault.InfoOf(p); ok && info.DefaultRate > 0 {
+					rate = info.DefaultRate * 4
+				}
+				if rate > 1 {
+					rate = 1
+				}
+				child.Config.Schedule[p] = rate
+			}
+		case 2: // reshape the ladder (rung 0 stays fault-free)
+			n := 1 + m.src.Intn(3)
+			mults := map[float64]bool{}
+			for len(mults) < n {
+				mults[m.ladderMults[m.src.Intn(len(m.ladderMults))]] = true
+			}
+			ladder := []float64{0}
+			for _, lm := range m.ladderMults { // fixed order, not map order
+				if mults[lm] {
+					ladder = append(ladder, lm)
+				}
+			}
+			child.Config.Ladder = ladder
+		case 3: // cluster size
+			child.Config.VMs = 1 + m.src.Intn(m.maxVMs)
+		case 4: // TMM policy
+			child.Config.Design = m.designs[m.src.Intn(len(m.designs))]
+		case 5: // slow-tier medium
+			child.Config.Tier = m.tiers[m.src.Intn(len(m.tiers))]
+		case 6: // workload mix
+			n := 1 + m.src.Intn(3)
+			mix := make([]string, n)
+			for i := range mix {
+				mix[i] = m.workloads[m.src.Intn(len(m.workloads))]
+			}
+			child.Config.Workloads = mix
+		case 7: // FMEM overcommit
+			child.Config.Overcommit = m.overcommits[m.src.Intn(len(m.overcommits))]
+		}
+	}
+	return child
+}
+
+// sortedPoints returns a schedule's points in sorted order, the only
+// order simulation code may walk a schedule in.
+func sortedPoints(s fault.Schedule) []fault.Point {
+	points := make([]fault.Point, 0, len(s))
+	for p := range s {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	return points
+}

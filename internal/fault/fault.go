@@ -14,6 +14,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -244,6 +245,43 @@ func ParseSchedule(spec string) (Schedule, error) {
 		s[p] = rate
 	}
 	return s, nil
+}
+
+// Validate checks the schedule against the registry. Unknown point names
+// and rates that are negative, NaN or above 1 are rejected with an error
+// naming the offending entry. Arm quietly accepts unregistered points (it
+// only consults the registry for the magnitude), so without this check a
+// misspelled point in a hand-built schedule would be armed, never fire,
+// and silently weaken the scenario.
+func (s Schedule) Validate() error {
+	points := make([]Point, 0, len(s))
+	for p := range s {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	for _, p := range points {
+		if _, ok := registry[p]; !ok {
+			return fmt.Errorf("fault: unknown injection point %q", p)
+		}
+		if rate := s[p]; math.IsNaN(rate) || rate < 0 || rate > 1 {
+			return fmt.Errorf("fault: bad rate %g for point %q (want 0..1)", rate, p)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the schedule, so callers that
+// mutate rates (the explorer's scenario mutator) never alias a schedule
+// that a live config still references. Clone of nil is nil.
+func (s Schedule) Clone() Schedule {
+	if s == nil {
+		return nil
+	}
+	out := make(Schedule, len(s))
+	for p, r := range s {
+		out[p] = r
+	}
+	return out
 }
 
 // Scale returns a copy with every rate multiplied by mult (clamped to 1).

@@ -1,6 +1,9 @@
 package fault
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // Test points registered once for the whole package test binary.
 var (
@@ -153,6 +156,45 @@ func TestScheduleScaleAndString(t *testing.T) {
 	}
 	if got := s.String(); got != "test.alpha=0.4,test.beta=0.1" {
 		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{testPointA: 0.5, testPointB: 0}).Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := (Schedule(nil)).Validate(); err != nil {
+		t.Fatalf("nil schedule rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"unknown point", Schedule{"test.no-such-point": 0.1}},
+		{"negative rate", Schedule{testPointA: -0.1}},
+		{"NaN rate", Schedule{testPointA: math.NaN()}},
+		{"rate above 1", Schedule{testPointA: 1.5}},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(); err == nil {
+			t.Errorf("%s accepted: %v", tc.name, tc.s)
+		}
+	}
+}
+
+func TestScheduleClone(t *testing.T) {
+	orig := Schedule{testPointA: 0.4, testPointB: 0.1}
+	cp := orig.Clone()
+	cp[testPointA] = 0.9
+	delete(cp, testPointB)
+	if orig[testPointA] != 0.4 || orig[testPointB] != 0.1 {
+		t.Fatalf("mutating a clone changed the original: %v", orig)
+	}
+	if cp[testPointA] != 0.9 || len(cp) != 1 {
+		t.Fatalf("clone did not take mutations: %v", cp)
+	}
+	if got := Schedule(nil).Clone(); got != nil {
+		t.Fatalf("Clone of nil = %v, want nil", got)
 	}
 }
 

@@ -288,6 +288,33 @@ func (s Snapshot) Condense() Snapshot {
 	})
 }
 
+// Total sums the values of every metric named name, across all label
+// sets and kinds (for histograms the value is the observation count).
+// Consumers that score runs from snapshots — the explorer's fitness
+// function — use it to fold per-VM instruments into one signal without
+// caring how the labels were laid out.
+func (s Snapshot) Total(name string) float64 {
+	var sum float64
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			sum += m.Value
+		}
+	}
+	return sum
+}
+
+// Get returns the metric with the given name and canonical "k=v,k=v"
+// label string, if present. Metrics are sorted, so a linear scan keeps
+// the snapshot immutable and allocation-free.
+func (s Snapshot) Get(name, labels string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name && m.Labels == labels {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
 // Top returns the n largest counters, ties broken by (name, labels) so
 // the order is deterministic.
 func (s Snapshot) Top(n int) []Metric {
