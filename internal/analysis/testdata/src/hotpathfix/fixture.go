@@ -60,3 +60,42 @@ func suppressed(xs []int) []int {
 	xs = append(xs, 1)
 	return xs
 }
+
+// batchState mimics the hypervisor's batched-access scratch: fixed
+// arrays owned by the VM so stage passes stay allocation-free.
+type batchState struct {
+	keys [8]uint64
+	pf   [8]uint64
+}
+
+// flushStage is a deliberately-allocating batch stage: it grows a fresh
+// slice per window and boxes a counter into an interface — exactly the
+// regressions the zero-alloc batch contract forbids. The analyzer must
+// flag every one.
+//
+//demeter:hotpath
+func flushStage(b *batchState, n int) uint64 {
+	run := make([]uint64, 0, n) // want `make in hot path flushStage allocates`
+	for i := 0; i < n; i++ {
+		run = append(run, b.keys[i]) // want `append in hot path flushStage may grow`
+	}
+	var sum uint64
+	for _, v := range run {
+		sum += v
+	}
+	sink(sum) // want `argument boxes uint64 into interface`
+	return sum
+}
+
+// warmStage is the allocation-free twin: it writes only into the fixed
+// scratch arrays, so the analyzer stays silent.
+//
+//demeter:hotpath
+func warmStage(b *batchState, n int) uint64 {
+	var sum uint64
+	for i := 0; i < n; i++ {
+		b.pf[i] = b.keys[i] + 1
+		sum += b.pf[i]
+	}
+	return sum
+}

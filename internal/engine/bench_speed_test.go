@@ -40,9 +40,31 @@ func BenchmarkAccessPath(b *testing.B) {
 	_ = sim.Second
 }
 
+// BenchmarkAccessBatch is BenchmarkAccessPath's batched twin: the same
+// cluster and access stream, consumed through vm.AccessBatch the way
+// Executor.slice does. The ratio of the two is the batching speedup and
+// is what `demeter-sim bench` ratchets as access_batch_ns_per_op.
+func BenchmarkAccessBatch(b *testing.B) {
+	vm, wl := benchMachine()
+	buf := make([]workload.Access, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n, _ := wl.Fill(buf)
+		if n > b.N-done {
+			n = b.N - done
+		}
+		vm.AccessBatch(buf[:n])
+		done += n
+	}
+	_ = sim.Second
+}
+
 // TestAccessPathZeroAlloc pins the fast-path contract in the normal test
 // run, not just under `go test -bench`: with the registry attached, a
-// warm access loop must not allocate.
+// warm access loop must not allocate — through the scalar path and the
+// batched path alike.
 func TestAccessPathZeroAlloc(t *testing.T) {
 	vm, wl := benchMachine()
 	buf := make([]workload.Access, 4096)
@@ -54,16 +76,27 @@ func TestAccessPathZeroAlloc(t *testing.T) {
 			}
 		}
 	}
-	touch(8) // warm the footprint: fault in pages, size TLB structures
+	touchBatch := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			n, _ := wl.Fill(buf)
+			vm.AccessBatch(buf[:n])
+		}
+	}
+	touch(8)      // warm the footprint: fault in pages, size TLB structures
+	touchBatch(8) // and the batch scratch state
 
 	const rounds = 16
-	allocs := testing.AllocsPerRun(10, func() { touch(rounds) })
-	perAccess := allocs / float64(rounds*len(buf))
-	// Background spills (slow-path refill growth) get a sliver of slack;
-	// the hit path itself must contribute nothing.
-	if perAccess > 0.0001 {
-		t.Fatalf("access path allocates: %.6f allocs/access (%v allocs per %d-round run)",
-			perAccess, allocs, rounds)
+	check := func(name string, f func(int)) {
+		allocs := testing.AllocsPerRun(10, func() { f(rounds) })
+		perAccess := allocs / float64(rounds*len(buf))
+		// Background spills (slow-path refill growth) get a sliver of
+		// slack; the hit path itself must contribute nothing.
+		if perAccess > 0.0001 {
+			t.Fatalf("%s path allocates: %.6f allocs/access (%v allocs per %d-round run)",
+				name, perAccess, allocs, rounds)
+		}
 	}
+	check("scalar", touch)
+	check("batched", touchBatch)
 	runtime.KeepAlive(buf)
 }

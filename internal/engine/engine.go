@@ -28,6 +28,21 @@ const (
 	DefaultPerAccessCompute = 200 * sim.Nanosecond
 )
 
+// defaultBatchSize is what new executors start with; the demeter-sim
+// -batch flag overrides it process-wide before any executor is built.
+var defaultBatchSize = DefaultBatchSize
+
+// SetDefaultBatchSize changes the BatchSize future executors start with.
+// n must hold at least one whole transaction of any canonical workload,
+// or the transactional consume loop could stall.
+func SetDefaultBatchSize(n int) error {
+	if min := workload.MaxTxnAccesses(); n < min {
+		return fmt.Errorf("engine: batch size %d smaller than the largest transaction (%d accesses)", n, min)
+	}
+	defaultBatchSize = n
+	return nil
+}
+
 // Executor runs one workload inside one VM.
 type Executor struct {
 	VM *hypervisor.VM
@@ -66,7 +81,7 @@ func NewExecutor(eng *sim.Engine, vm *hypervisor.VM, wl workload.Workload) *Exec
 	x := &Executor{
 		VM:               vm,
 		WL:               wl,
-		BatchSize:        DefaultBatchSize,
+		BatchSize:        defaultBatchSize,
 		Timeslice:        DefaultTimeslice,
 		PerAccessCompute: DefaultPerAccessCompute,
 		eng:              eng,
@@ -144,10 +159,7 @@ func (x *Executor) slice() {
 			if skip > n {
 				skip = n
 			}
-			for i := 0; i < skip; i++ {
-				a := x.buf[i]
-				cpu += vm.Access(a.GVA, a.Write)
-			}
+			cpu += vm.AccessBatch(x.buf[:skip])
 		}
 		// Spread pending management stall evenly over this batch's
 		// transactions: TMM interference is what fattens tails.
@@ -156,24 +168,19 @@ func (x *Executor) slice() {
 		if txns > 0 {
 			stallShare = elapsed / sim.Duration(txns)
 		}
+		// Slide a [lo, hi) window across the transactions instead of
+		// recomputing skip + t*txnSize bounds per iteration.
+		lo := skip
 		for t := 0; t < txns; t++ {
-			var txnCost sim.Duration
-			for i := skip + t*x.txnSize; i < skip+(t+1)*x.txnSize; i++ {
-				a := x.buf[i]
-				txnCost += vm.Access(a.GVA, a.Write)
-			}
+			hi := lo + x.txnSize
+			txnCost := vm.AccessBatch(x.buf[lo:hi])
 			x.TxnHist.Observe(float64(txnCost + stallShare))
 			cpu += txnCost
+			lo = hi
 		}
-		for i := skip + txns*x.txnSize; i < n; i++ {
-			a := x.buf[i]
-			cpu += vm.Access(a.GVA, a.Write)
-		}
+		cpu += vm.AccessBatch(x.buf[lo:n])
 	} else {
-		for i := 0; i < n; i++ {
-			a := x.buf[i]
-			cpu += vm.Access(a.GVA, a.Write)
-		}
+		cpu += vm.AccessBatch(x.buf[:n])
 	}
 	// vCPUs execute the stream in parallel.
 	cpu += sim.Duration(n) * x.PerAccessCompute

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"demeter/internal/workload"
+)
+
+// TestBatchSpeedupProbe reports the scalar/batched throughput ratio from
+// interleaved same-process phases, immune to the cross-process frequency
+// drift that makes separate benchmark invocations incomparable on noisy
+// hosts. Diagnostic only: enabled with DEMETER_SPEEDUP_PROBE=1.
+func TestBatchSpeedupProbe(t *testing.T) {
+	if os.Getenv("DEMETER_SPEEDUP_PROBE") == "" {
+		t.Skip("set DEMETER_SPEEDUP_PROBE=1 to run")
+	}
+	vmS, wlS := benchMachine()
+	vmB, wlB := benchMachine()
+	bufS := make([]workload.Access, 4096)
+	bufB := make([]workload.Access, 4096)
+	const rounds = 400 // ~1.6M accesses per phase
+	phase := func(scalar bool) float64 {
+		start := time.Now()
+		var ops int
+		for r := 0; r < rounds; r++ {
+			if scalar {
+				n, _ := wlS.Fill(bufS)
+				for i := 0; i < n; i++ {
+					vmS.Access(bufS[i].GVA, bufS[i].Write)
+				}
+				ops += n
+			} else {
+				n, _ := wlB.Fill(bufB)
+				vmB.AccessBatch(bufB[:n])
+				ops += n
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(ops)
+	}
+	phase(true) // warm both sides
+	phase(false)
+	var ratios []float64
+	for rep := 0; rep < 9; rep++ {
+		s := phase(true)
+		b := phase(false)
+		ratios = append(ratios, s/b)
+		t.Logf("rep %d: scalar %.1f ns/op, batch %.1f ns/op, speedup %.2fx", rep, s, b, s/b)
+	}
+	sort.Float64s(ratios)
+	t.Logf("median speedup: %.2fx", ratios[len(ratios)/2])
+}

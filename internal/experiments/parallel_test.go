@@ -6,16 +6,22 @@ import (
 	"testing"
 )
 
-// seqVsPar runs f sequentially and with a 4-worker pool and returns both
-// outputs. Parallelism is restored to sequential afterward so other tests
-// are unaffected.
+// seqVsPar runs f sequentially and with worker pools of 4 and 8 and
+// returns the sequential output plus the 4-worker one; the 8-worker run
+// is asserted against the 4-worker run inline, so a caller comparing
+// seq == par has covered all three widths. Parallelism is restored to
+// sequential afterward so other tests are unaffected.
 func seqVsPar(t *testing.T, f func() string) (seq, par string) {
 	t.Helper()
 	SetParallelism(1)
 	seq = f()
-	SetParallelism(4)
 	defer SetParallelism(1)
+	SetParallelism(4)
 	par = f()
+	SetParallelism(8)
+	if par8 := f(); par8 != par {
+		t.Errorf("8-worker output differs from 4-worker output")
+	}
 	return seq, par
 }
 

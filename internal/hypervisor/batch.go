@@ -1,0 +1,210 @@
+package hypervisor
+
+import (
+	"demeter/internal/guestos"
+	"demeter/internal/mem"
+	"demeter/internal/pagetable"
+	"demeter/internal/sim"
+	"demeter/internal/workload"
+)
+
+// Batched access execution.
+//
+// AccessBatch is the stage-split twin of Access: it consumes a whole
+// workload batch in one call so per-access dispatch overhead (callback,
+// re-loaded VM fields, per-sample PEBS calls) amortizes across the batch,
+// and so the independent page-table loads of upcoming misses can be issued ahead
+// of time where the scalar path serializes them behind each access.
+//
+// The contract is strict equivalence with the scalar path: identical
+// vm.stats, TLB stats, PEBS sample streams, fault-stream consumption
+// order, and an identical cost total (sim.Duration is an integer, so
+// summation order cannot perturb it). The design keeps that contract by
+// construction rather than by reconciliation:
+//
+//   - Accesses are TLB-probed in order with the real, counted Lookup.
+//     A straight hits/misses partition up front would be wrong twice
+//     over: a miss inserts its translation, turning a same-page repeat
+//     later in the batch into a hit (scalar behavior) that a
+//     pre-partition would have misclassified; and an OnHintFault
+//     handler can migrate pages and flush the TLB mid-batch.
+//   - Consecutive hits accumulate into a fixed-size run buffer owned by
+//     the VM (no allocation). The run is flushed — tier-resolved,
+//     stats-folded, PEBS-recorded — whenever a miss, a full buffer, or
+//     the batch end arrives, always before the next miss executes, so
+//     any observer inside the miss path (an OnHintFault handler reading
+//     vm.Stats()) sees exactly the scalar counters.
+//   - Tier resolution memoizes one mem.TierRange per run segment: host
+//     frames cluster by tier, so most probes resolve with two compares
+//     against the cached bounds instead of a Topo.Tier call. DRAM
+//     segments fold into one stats update and one RecordBatch append;
+//     slow-tier segments do too unless a fault injector is attached, in
+//     which case the spike draw forces the scalar per-access order.
+//   - Misses reuse accessMiss unchanged, so guest-fault, EPT-fault,
+//     A/D-bit, PML and TLB-refill semantics stay bit-exact.
+
+// batchRunCap sizes the VM's hit-run scratch buffers. 256 entries × two
+// uint64 planes = 4 KiB, small enough to stay cache-resident; longer hit
+// runs simply flush mid-run with no observable difference.
+const batchRunCap = 256
+
+// prefetchWindow is how far AccessBatch looks ahead warming translation
+// structures before consuming that window for real. Each prefetched
+// access touches a handful of cache lines (TLB tag lines, GPT block,
+// EPT block), so a 512-access window warms at most a few hundred KiB —
+// inside L2 — while giving the memory system a deep pool of independent
+// loads to overlap where the scalar path chains them one dependent walk
+// at a time. Sweeping 64/128/256/512/1024 under the interleaved probe
+// put 512 at the plateau's start.
+const prefetchWindow = 512
+
+// batchState is the VM-owned scratch for one in-flight hit run and the
+// prefetch stage. Fixed arrays, not slices: the zero-alloc guarantee
+// must hold for any batch length.
+type batchState struct {
+	gvpn   [batchRunCap]uint64
+	hpfn   [batchRunCap]uint64
+	keys   [prefetchWindow]uint64 // gVPNs of the current prefetch window
+	pf     [prefetchWindow]uint64 // gPFNs collected by the GPT prefetch pass
+	writes uint64                 // write count of the pending run (hits never mark dirty)
+	sink   uint64                 // checksum keeping the TLB warming loads alive
+}
+
+// prefetch warms the translation path for accs without observable side
+// effects: GPT and EPT lookups whose block-cache fills are pure
+// accelerators. The pass is deliberately branch-light — no TLB-probe
+// filter, whose unpredictable outcome would flush the pipeline on every
+// mispredict and serialize exactly the loads this pass exists to
+// overlap — and staged so each loop carries only a short dependent
+// chain per key: extract every gVPN, resolve every GPT entry in one
+// LookupValues call, compact the mapped gPFNs, resolve every EPT entry
+// in a second LookupValues call. The later authoritative pass re-does
+// these lookups for real and finds the lines hot.
+//
+//demeter:hotpath
+func (vm *VM) prefetch(accs []workload.Access) {
+	b := &vm.batch
+	n := len(accs)
+	for i := range accs {
+		b.keys[i] = accs[i].GVA >> guestos.PageShift
+	}
+	b.sink += vm.TLB.WarmTags(b.keys[:n])
+	vm.Proc.GPT.LookupValues(b.keys[:n], b.pf[:n])
+	k := 0
+	for i := 0; i < n; i++ {
+		if v := b.pf[i]; v != pagetable.NotMapped {
+			b.pf[k] = v
+			k++
+		}
+	}
+	vm.EPT.LookupValues(b.pf[:k], b.pf[:k])
+}
+
+// AccessBatch executes a batch of guest accesses and returns the summed
+// latency, equivalent by construction to calling Access once per element
+// (see the package comment above for the argument).
+//
+//demeter:hotpath
+func (vm *VM) AccessBatch(buf []workload.Access) sim.Duration {
+	var total sim.Duration
+	n := 0 // pending hit-run length
+	for w := 0; w < len(buf); w += prefetchWindow {
+		end := w + prefetchWindow
+		if end > len(buf) {
+			end = len(buf)
+		}
+		vm.prefetch(buf[w:end])
+		for i := w; i < end; i++ {
+			gva, write := buf[i].GVA, buf[i].Write
+			gvpn := gva >> guestos.PageShift
+			if hpfn, ok := vm.TLB.Lookup(gvpn); ok {
+				if n == batchRunCap {
+					total += vm.flushHitRun(n)
+					n = 0
+				}
+				vm.batch.gvpn[n] = gvpn
+				vm.batch.hpfn[n] = hpfn
+				if write {
+					vm.batch.writes++
+				}
+				n++
+				continue
+			}
+			if n > 0 {
+				total += vm.flushHitRun(n)
+				n = 0
+			}
+			vm.stats.Accesses++
+			if write {
+				vm.stats.Writes++
+			}
+			total += vm.accessMiss(gva, gvpn, write)
+		}
+	}
+	if n > 0 {
+		total += vm.flushHitRun(n)
+	}
+	return total
+}
+
+// flushHitRun retires the pending hit run: resolves tiers with a
+// per-segment TierRange memo, folds the stats updates, and appends PEBS
+// samples in run-sized chunks. Order within the run is preserved — the
+// run is segmented into maximal stretches of frames sharing one tier
+// range, and segments retire left to right — so the PEBS period counter
+// advances through exactly the scalar sample sequence.
+//
+//demeter:hotpath
+func (vm *VM) flushHitRun(n int) sim.Duration {
+	b := &vm.batch
+	topo := vm.Machine.Topo
+	spiky := vm.Machine.Fault != nil
+	var total sim.Duration
+	var lo, hi mem.Frame
+	var loaded sim.Duration
+	var kind mem.TierKind
+	for i := 0; i < n; {
+		f := mem.Frame(b.hpfn[i])
+		if i == 0 || f < lo || f >= hi {
+			lo, hi, loaded, kind = topo.TierRange(f)
+		}
+		j := i + 1
+		for j < n {
+			if g := mem.Frame(b.hpfn[j]); g < lo || g >= hi {
+				break
+			}
+			j++
+		}
+		cnt := uint64(j - i)
+		if kind == mem.TierDRAM {
+			vm.stats.FastHits += cnt
+			total += sim.Duration(cnt) * loaded
+			if vm.PEBS != nil {
+				vm.PEBS.RecordBatch(b.gvpn[i:j], loaded, true)
+			}
+		} else {
+			vm.stats.SlowHits += cnt
+			if spiky {
+				// An injector is attached: each slow access draws from the
+				// spike fault stream in order, exactly as the scalar path.
+				for k := i; k < j; k++ {
+					lat := loaded + vm.slowTierSpike(loaded)
+					total += lat
+					if vm.PEBS != nil {
+						vm.PEBS.Record(b.gvpn[k], lat, false)
+					}
+				}
+			} else {
+				total += sim.Duration(cnt) * loaded
+				if vm.PEBS != nil {
+					vm.PEBS.RecordBatch(b.gvpn[i:j], loaded, false)
+				}
+			}
+		}
+		i = j
+	}
+	vm.stats.Accesses += uint64(n)
+	vm.stats.Writes += b.writes
+	b.writes = 0
+	return total
+}

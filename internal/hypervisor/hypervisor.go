@@ -324,6 +324,7 @@ type VM struct {
 	warmWalks int  // walks since the last full flush, up to PWCWarmupWalks
 	pml       *PML // page-modification logging, when enabled
 	stats     VMStats
+	batch     batchState // AccessBatch hit-run scratch (see batch.go)
 }
 
 // NewVM creates a guest on m. Guest node 0 is FMEM, node 1 SMEM.

@@ -227,6 +227,24 @@ func (t *Topology) Tier(f Frame) (loadedLatency sim.Duration, kind TierKind) {
 	return spec.LoadedLatency, spec.Kind
 }
 
+// TierRange is Tier plus the half-open frame interval [lo, hi) over which
+// the answer holds. The batched access path memoizes one TierRange per
+// distinct tier touched within a hit run: node ranges are contiguous and
+// immutable after construction, so any frame inside the returned bounds
+// resolves to the same latency and kind without another call.
+//
+//demeter:hotpath
+func (t *Topology) TierRange(f Frame) (lo, hi Frame, loadedLatency sim.Duration, kind TierKind) {
+	for i := range t.tiers {
+		if f < t.tiers[i].limit {
+			return lo, t.tiers[i].limit, t.tiers[i].loadedLatency, t.tiers[i].kind
+		}
+		lo = t.tiers[i].limit
+	}
+	n := t.NodeOf(f) // hand-built topology or foreign frame
+	return n.base, n.base + Frame(n.nframes), n.Spec.LoadedLatency, n.Spec.Kind
+}
+
 // NodeConfig sizes one node of a new topology.
 type NodeConfig struct {
 	Spec   TierSpec

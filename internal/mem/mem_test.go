@@ -98,6 +98,46 @@ func TestNodeOfAndSpecOf(t *testing.T) {
 	}
 }
 
+// TestTierRangeMatchesTier pins the memoization contract the batched
+// access path relies on: for every frame, TierRange must agree with Tier,
+// and every frame inside the returned [lo, hi) interval must resolve to
+// the same (latency, kind).
+func TestTierRangeMatchesTier(t *testing.T) {
+	topo := testTopo() // 100 DRAM frames, 500 PMEM frames
+	for _, f := range []Frame{0, 50, 99, 100, 350, 599} {
+		lo, hi, lat, kind := topo.TierRange(f)
+		wantLat, wantKind := topo.Tier(f)
+		if lat != wantLat || kind != wantKind {
+			t.Fatalf("TierRange(%d) = (%v,%v), Tier = (%v,%v)", f, lat, kind, wantLat, wantKind)
+		}
+		if f < lo || f >= hi {
+			t.Fatalf("TierRange(%d) bounds [%d,%d) exclude the queried frame", f, lo, hi)
+		}
+		for _, probe := range []Frame{lo, (lo + hi) / 2, hi - 1} {
+			if l, k := topo.Tier(probe); l != lat || k != kind {
+				t.Fatalf("frame %d in range [%d,%d) resolves to (%v,%v), want (%v,%v)", probe, lo, hi, l, k, lat, kind)
+			}
+		}
+	}
+	if lo, hi, _, _ := topo.TierRange(99); lo != 0 || hi != 100 {
+		t.Fatalf("DRAM range = [%d,%d), want [0,100)", lo, hi)
+	}
+	if lo, hi, _, _ := topo.TierRange(100); lo != 100 || hi != 600 {
+		t.Fatalf("PMEM range = [%d,%d), want [100,600)", lo, hi)
+	}
+
+	// Hand-built topology (no tier cache): the NodeOf fallback must still
+	// report the owning node's exact bounds.
+	hand := &Topology{Nodes: []*Node{
+		NewNode(0, SpecLocalDRAM, 0, 64),
+		NewNode(1, SpecCXL, 64, 32),
+	}}
+	lo, hi, lat, kind := hand.TierRange(70)
+	if lo != 64 || hi != 96 || lat != SpecCXL.LoadedLatency || kind != SpecCXL.Kind {
+		t.Fatalf("fallback TierRange(70) = [%d,%d) (%v,%v)", lo, hi, lat, kind)
+	}
+}
+
 func TestNodeOfUnknownFramePanics(t *testing.T) {
 	topo := testTopo()
 	defer func() {

@@ -278,6 +278,68 @@ func (u *Unit) Record(gvpn uint64, latency sim.Duration, fastTier bool) {
 	u.stats.Samples++
 }
 
+// RecordBatch observes a homogeneous run of consecutive guest loads: every
+// access in gvpns was served at the same latency from the same tier, in
+// stream order. It is the batched access path's replacement for per-sample
+// Record calls: the filter checks (armed, threshold, event media) are paid
+// once per run instead of once per access, and the period countdown skips
+// straight to each sampling access instead of decrementing through the
+// non-sampling ones.
+//
+// The contract is bit-exactness with the equivalent scalar loop
+//
+//	for _, g := range gvpns { u.Record(g, latency, fastTier) }
+//
+// for every counter, sample, PMI and drop. The bulk skip below is only
+// taken when nothing per-access is observable: a fault injector draws the
+// PMI-storm stream per qualifying access and the adaptive-period window
+// advances per qualifying event, so either feature routes through the
+// scalar loop unchanged.
+//
+//demeter:hotpath
+func (u *Unit) RecordBatch(gvpns []uint64, latency sim.Duration, fastTier bool) {
+	if !u.armed || len(gvpns) == 0 {
+		return
+	}
+	if latency < u.cfg.LatencyThreshold {
+		return // the whole run is filtered by MSR_PEBS_LD_LAT_THRESHOLD
+	}
+	if u.cfg.Event == EventL3Miss && fastTier {
+		return
+	}
+	if u.Fault != nil || u.cfg.AdaptivePeriod {
+		for _, g := range gvpns {
+			u.Record(g, latency, fastTier)
+		}
+		return
+	}
+	u.stats.Qualifying += uint64(len(gvpns))
+	i := 0
+	for {
+		if left := uint64(len(gvpns) - i); u.counter > left {
+			u.counter -= left
+			return
+		}
+		// The u.counter-th access from here (inclusive) is the sampling one.
+		i += int(u.counter) - 1
+		u.counter = u.period
+		if len(u.buffer) >= u.cfg.BufferEntries {
+			// Overshoot: PMI if a handler is installed, else the record is
+			// lost. Either way the hardware signals the overflow.
+			u.pmi()
+			if len(u.buffer) >= u.cfg.BufferEntries {
+				u.stats.Dropped++
+				i++
+				continue
+			}
+		}
+		//lint:allow hotpath buffer capacity is preallocated to BufferEntries at construction and Drain, and the overshoot check above bounds len
+		u.buffer = append(u.buffer, Sample{GVPN: gvpns[i], Latency: latency})
+		u.stats.Samples++
+		i++
+	}
+}
+
 // pmi delivers one performance-monitoring interrupt.
 func (u *Unit) pmi() {
 	u.stats.PMIs++

@@ -3,6 +3,8 @@ package pebs
 import (
 	"testing"
 	"testing/quick"
+
+	"demeter/internal/sim"
 )
 
 func mustUnit(t *testing.T, cfg Config) *Unit {
@@ -229,4 +231,93 @@ func TestEventString(t *testing.T) {
 	if EventLoadLatency.String() != "MEM_TRANS_RETIRED.LOAD_LATENCY" {
 		t.Fatal("event string broken")
 	}
+}
+
+// recordBatchEquivalent drives two identical units through the same access
+// stream — one via scalar Record, one via RecordBatch over the given run
+// lengths — and fails on the first divergence in stats or sample streams.
+func recordBatchEquivalent(t *testing.T, cfg Config, runs [][3]uint64, drainEvery int) {
+	t.Helper()
+	scalar, batched := armedUnit(t, cfg), armedUnit(t, cfg)
+	var scalarSamples, batchedSamples []Sample
+	drain := func() {
+		scalarSamples = append(scalarSamples, scalar.Drain()...)
+		batchedSamples = append(batchedSamples, batched.Drain()...)
+	}
+	var gvpn uint64
+	for ri, r := range runs {
+		count, lat, fast := r[0], sim.Duration(r[1]), r[2] == 1
+		gvpns := make([]uint64, count)
+		for i := range gvpns {
+			gvpns[i] = gvpn
+			gvpn++
+		}
+		for _, g := range gvpns {
+			scalar.Record(g, lat, fast)
+		}
+		batched.RecordBatch(gvpns, lat, fast)
+		if drainEvery > 0 && (ri+1)%drainEvery == 0 {
+			drain()
+		}
+		if s, b := scalar.Stats(), batched.Stats(); s != b {
+			t.Fatalf("run %d: stats diverge: scalar %+v, batched %+v", ri, s, b)
+		}
+	}
+	drain()
+	if len(scalarSamples) != len(batchedSamples) {
+		t.Fatalf("sample counts diverge: scalar %d, batched %d", len(scalarSamples), len(batchedSamples))
+	}
+	for i := range scalarSamples {
+		if scalarSamples[i] != batchedSamples[i] {
+			t.Fatalf("sample %d diverges: scalar %+v, batched %+v", i, scalarSamples[i], batchedSamples[i])
+		}
+	}
+}
+
+// TestRecordBatchEquivalence pins the RecordBatch contract across period
+// crossings, threshold filtering, media filtering, buffer overshoot (with
+// and without a drain handler) and run lengths from 1 to several periods.
+func TestRecordBatchEquivalence(t *testing.T) {
+	base := Config{SamplePeriod: 7, LatencyThreshold: 64, BufferEntries: 5, Version: 5}
+	runs := [][3]uint64{
+		{3, 200, 0}, {1, 200, 1}, {20, 500, 0}, {2, 10, 0}, // below threshold
+		{40, 200, 1}, {5, 64, 0}, {1, 63, 1}, {100, 90, 0}, {6, 200, 0},
+	}
+	t.Run("drops-without-handler", func(t *testing.T) {
+		recordBatchEquivalent(t, base, runs, 0)
+	})
+	t.Run("drained-between-runs", func(t *testing.T) {
+		recordBatchEquivalent(t, base, runs, 2)
+	})
+	t.Run("pmi-handler-drains", func(t *testing.T) {
+		scalar, batched := armedUnit(t, base), armedUnit(t, base)
+		scalar.OnPMI = func() { scalar.Drain() }
+		batched.OnPMI = func() { batched.Drain() }
+		gvpns := make([]uint64, 200)
+		for i := range gvpns {
+			gvpns[i] = uint64(i)
+			scalar.Record(uint64(i), 200, false)
+		}
+		batched.RecordBatch(gvpns, 200, false)
+		if s, b := scalar.Stats(), batched.Stats(); s != b {
+			t.Fatalf("stats diverge under PMI drain: scalar %+v, batched %+v", s, b)
+		}
+	})
+	t.Run("l3miss-filters-fast-runs", func(t *testing.T) {
+		cfg := base
+		cfg.Event = EventL3Miss
+		recordBatchEquivalent(t, cfg, runs, 0)
+	})
+	t.Run("adaptive-falls-back-to-scalar", func(t *testing.T) {
+		cfg := base
+		cfg.AdaptivePeriod = true
+		recordBatchEquivalent(t, cfg, runs, 0)
+	})
+	t.Run("disarmed-does-nothing", func(t *testing.T) {
+		u := mustUnit(t, base)
+		u.RecordBatch([]uint64{1, 2, 3}, 200, false)
+		if u.Stats().Qualifying != 0 || u.Buffered() != 0 {
+			t.Fatal("disarmed RecordBatch produced activity")
+		}
+	})
 }

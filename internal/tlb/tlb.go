@@ -15,21 +15,20 @@ package tlb
 
 import "fmt"
 
-// Entry identity: one cached translation, 16 bytes. key is gvpn+1 so the
-// zero value is invalid without a separate flag byte (a guest page number
-// is an address shifted right by the page bits, so +1 cannot overflow);
-// the packing keeps an 8-way set to two cache lines.
-type way struct {
-	key  uint64 // gvpn+1; 0 = invalid
-	hpfn uint64
-}
+// Entry identity: one cached translation, split structure-of-arrays style
+// into a tag (keys) and a value (vals) plane. A tag is gvpn+1 so the zero
+// value is invalid without a separate flag byte (a guest page number is an
+// address shifted right by the page bits, so +1 cannot overflow). The SoA
+// split matters to the batched access path: a probe scans only the tag
+// plane, so an 8-way set costs one cache line instead of two, and the
+// value plane is touched only on a hit.
 
 // frontSlots sizes the direct-mapped front cache (a power of two). The
 // front cache is a pure lookup accelerator: every valid front entry
 // mirrors a valid entry in the set-associative array, so its presence
 // never changes hit/miss accounting — only how fast a hit is found. It is
-// deliberately tiny: at 256 slots × 16 bytes it stays L1-resident, so the
-// extra probe on a front miss is nearly free.
+// deliberately tiny: at 256 slots × 16 bytes across the two planes it
+// stays L1-resident, so the extra probe on a front miss is nearly free.
 const frontSlots = 256
 
 // Stats holds instruction and traffic counters. Single/Full count flush
@@ -56,17 +55,20 @@ func (s Stats) HitRate() float64 {
 // TLB is a set-associative translation cache. Not safe for concurrent use;
 // the simulation is single-threaded.
 //
-// Entries live in one flat backing array (set i occupies ways[i*assoc :
-// (i+1)*assoc]) rather than a slice of per-set slices, and a small
-// direct-mapped front cache short-circuits repeated hits to the same page
+// Entries live in two flat parallel planes (set i occupies index range
+// [i*assoc, (i+1)*assoc) of both keys and vals) rather than a slice of
+// per-set structs, and a small direct-mapped front cache — itself split
+// into parallel planes — short-circuits repeated hits to the same page
 // without touching the counted hit/miss events.
 type TLB struct {
-	ways    []way
-	assoc   int
-	setMask uint64
-	next    []uint8 // per-set round-robin replacement cursor (assoc ≤ 255)
-	front   [frontSlots]way
-	stats   Stats
+	keys      []uint64 // tag plane: gvpn+1; 0 = invalid
+	vals      []uint64 // value plane: hpfn, parallel to keys
+	assoc     int
+	setMask   uint64
+	next      []uint8 // per-set round-robin replacement cursor (assoc ≤ 255)
+	frontKeys [frontSlots]uint64
+	frontVals [frontSlots]uint64
+	stats     Stats
 }
 
 // New returns a TLB with the given total entry count and associativity.
@@ -81,7 +83,8 @@ func New(entries, ways int) (*TLB, error) {
 		return nil, fmt.Errorf("tlb: set count %d not a power of two", nsets)
 	}
 	return &TLB{
-		ways:    make([]way, entries),
+		keys:    make([]uint64, entries),
+		vals:    make([]uint64, entries),
 		assoc:   ways,
 		setMask: uint64(nsets - 1),
 		next:    make([]uint8, nsets),
@@ -115,29 +118,75 @@ func (t *TLB) ResetStats() { t.stats = Stats{} }
 func (t *TLB) Lookup(gvpn uint64) (hpfn uint64, ok bool) {
 	t.stats.Lookups++
 	key := gvpn + 1
-	if f := &t.front[gvpn&(frontSlots-1)]; f.key == key {
+	fi := gvpn & (frontSlots - 1)
+	if t.frontKeys[fi] == key {
 		t.stats.Hits++
-		return f.hpfn, true
+		return t.frontVals[fi], true
 	}
 	base := int(gvpn&t.setMask) * t.assoc
-	set := t.ways[base : base+t.assoc]
-	for i := range set {
-		if set[i].key == key {
+	keys := t.keys[base : base+t.assoc]
+	for i := range keys {
+		if keys[i] == key {
 			t.stats.Hits++
-			t.front[gvpn&(frontSlots-1)] = set[i]
-			return set[i].hpfn, true
+			v := t.vals[base+i]
+			t.frontKeys[fi] = key
+			t.frontVals[fi] = v
+			return v, true
 		}
 	}
 	t.stats.Misses++
 	return 0, false
 }
 
+// Probe reports whether gvpn is cached without counting a lookup and
+// without refreshing the front cache. It exists for the batched access
+// path's prefetch stage, which peeks ahead at upcoming accesses to decide
+// which page-table lines to warm: the peek must leave every counted
+// statistic and every replacement decision exactly as the later real
+// Lookup will find them.
+//
+//demeter:hotpath
+func (t *TLB) Probe(gvpn uint64) bool {
+	key := gvpn + 1
+	if t.frontKeys[gvpn&(frontSlots-1)] == key {
+		return true
+	}
+	base := int(gvpn&t.setMask) * t.assoc
+	keys := t.keys[base : base+t.assoc]
+	for i := range keys {
+		if keys[i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// WarmTags touches the front-cache tag slot and the set's tag line for
+// every gvpn and returns a checksum of the words read. Like Probe it is
+// a pure lookup accelerator for the batched access path's prefetch
+// stage: no counter moves, no entry changes, and the checksum exists
+// only so the compiler cannot discard the loads. Unlike Probe it is
+// branchless — each gvpn costs two independent loads regardless of
+// whether it hits, so a window's worth of warming issues as one
+// overlapped burst instead of a chain of mispredicted compares.
+//
+//demeter:hotpath
+func (t *TLB) WarmTags(gvpns []uint64) uint64 {
+	var sum uint64
+	for _, g := range gvpns {
+		sum += t.frontKeys[g&(frontSlots-1)]
+		sum += t.keys[int(g&t.setMask)*t.assoc]
+	}
+	return sum
+}
+
 // frontDrop removes key's front-cache mirror, if present.
 //
 //demeter:hotpath
 func (t *TLB) frontDrop(key uint64) {
-	if f := &t.front[(key-1)&(frontSlots-1)]; f.key == key {
-		*f = way{}
+	if fi := (key - 1) & (frontSlots - 1); t.frontKeys[fi] == key {
+		t.frontKeys[fi] = 0
+		t.frontVals[fi] = 0
 	}
 }
 
@@ -149,22 +198,23 @@ func (t *TLB) Insert(gvpn, hpfn uint64) {
 	key := gvpn + 1
 	si := gvpn & t.setMask
 	base := int(si) * t.assoc
-	set := t.ways[base : base+t.assoc]
+	keys := t.keys[base : base+t.assoc]
 	free := -1
-	for i := range set {
-		if set[i].key == key {
-			set[i].hpfn = hpfn
-			if f := &t.front[gvpn&(frontSlots-1)]; f.key == key {
-				f.hpfn = hpfn
+	for i := range keys {
+		if keys[i] == key {
+			t.vals[base+i] = hpfn
+			if fi := gvpn & (frontSlots - 1); t.frontKeys[fi] == key {
+				t.frontVals[fi] = hpfn
 			}
 			return
 		}
-		if set[i].key == 0 && free < 0 {
+		if keys[i] == 0 && free < 0 {
 			free = i
 		}
 	}
 	if free >= 0 {
-		set[free] = way{key: key, hpfn: hpfn}
+		keys[free] = key
+		t.vals[base+free] = hpfn
 		t.stats.Fills++
 		return
 	}
@@ -174,8 +224,9 @@ func (t *TLB) Insert(gvpn, hpfn uint64) {
 	} else {
 		t.next[si] = uint8(v + 1)
 	}
-	t.frontDrop(set[v].key)
-	set[v] = way{key: key, hpfn: hpfn}
+	t.frontDrop(keys[v])
+	keys[v] = key
+	t.vals[base+v] = hpfn
 	t.stats.Evictions++
 	t.stats.Fills++
 }
@@ -186,31 +237,36 @@ func (t *TLB) FlushSingle(gvpn uint64) {
 	key := gvpn + 1
 	t.frontDrop(key)
 	base := int(gvpn&t.setMask) * t.assoc
-	set := t.ways[base : base+t.assoc]
-	for i := range set {
-		if set[i].key == key {
-			set[i] = way{}
+	keys := t.keys[base : base+t.assoc]
+	for i := range keys {
+		if keys[i] == key {
+			keys[i] = 0
+			t.vals[base+i] = 0
 			return
 		}
 	}
 }
 
 // FlushAll issues a full invalidation (invept), destroying all entries.
-// The per-set round-robin cursors reset too: a flush empties every set,
-// so replacement state surviving it would make post-flush eviction
-// victims depend on pre-flush history.
+// Every plane resets: both set-associative planes, both front-cache
+// planes, and the per-set round-robin cursors. A flush empties every set,
+// so any state surviving it — a stale front tag that could fabricate a
+// hit, or a replacement cursor making post-flush eviction victims depend
+// on pre-flush history — would break determinism or correctness.
 func (t *TLB) FlushAll() {
 	t.stats.FullFlushes++
-	clear(t.ways)
-	clear(t.front[:])
+	clear(t.keys)
+	clear(t.vals)
+	clear(t.frontKeys[:])
+	clear(t.frontVals[:])
 	clear(t.next)
 }
 
 // Scan visits every valid entry (audit/diagnostic use); returning false
 // from fn stops the walk.
 func (t *TLB) Scan(fn func(gvpn, hpfn uint64) bool) {
-	for i := range t.ways {
-		if t.ways[i].key != 0 && !fn(t.ways[i].key-1, t.ways[i].hpfn) {
+	for i := range t.keys {
+		if t.keys[i] != 0 && !fn(t.keys[i]-1, t.vals[i]) {
 			return
 		}
 	}
@@ -219,8 +275,8 @@ func (t *TLB) Scan(fn func(gvpn, hpfn uint64) bool) {
 // Occupied returns the number of valid entries (test/diagnostic use).
 func (t *TLB) Occupied() int {
 	n := 0
-	for i := range t.ways {
-		if t.ways[i].key != 0 {
+	for i := range t.keys {
+		if t.keys[i] != 0 {
 			n++
 		}
 	}

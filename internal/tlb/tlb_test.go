@@ -201,6 +201,56 @@ func TestPropertyLookupNeverReturnsStaleAfterFlush(t *testing.T) {
 	}
 }
 
+// TestFlushAllResetsFrontCache pins the SoA front-cache planes against
+// invept: both the tag and value plane must clear. A stale front tag
+// surviving a full flush would fabricate a hit for a since-destroyed
+// translation — worse, after a post-flush refill of the same page to a
+// different frame, a stale value plane would silently serve the old frame.
+func TestFlushAllResetsFrontCache(t *testing.T) {
+	tl := NewDefault()
+	tl.Insert(42, 1000)
+	if v, ok := tl.Lookup(42); !ok || v != 1000 {
+		t.Fatalf("Lookup(42) = %d, %v before flush", v, ok)
+	}
+	// 42 is now mirrored in the front cache. A full flush must purge it.
+	tl.FlushAll()
+	if v, ok := tl.Lookup(42); ok {
+		t.Fatalf("Lookup(42) = %d after FlushAll; front cache survived invept", v)
+	}
+	if tl.Probe(42) {
+		t.Fatal("Probe(42) true after FlushAll; front tag plane not cleared")
+	}
+	// Refill the same page to a different frame: the front value plane
+	// must track the new translation, not resurrect the old one.
+	tl.Insert(42, 2000)
+	if v, ok := tl.Lookup(42); !ok || v != 2000 {
+		t.Fatalf("Lookup(42) = %d, %v after refill, want 2000", v, ok)
+	}
+	if v, ok := tl.Lookup(42); !ok || v != 2000 { // front-cache-served repeat
+		t.Fatalf("front-cached Lookup(42) = %d, %v, want 2000", v, ok)
+	}
+}
+
+// TestProbeIsSideEffectFree pins the batched path's prefetch contract:
+// Probe must not count lookups, hits or misses, and must not promote
+// entries into the front cache (which would perturb nothing visible, but
+// the guarantee is cheap to hold and makes the equivalence argument
+// one-line).
+func TestProbeIsSideEffectFree(t *testing.T) {
+	tl := NewDefault()
+	tl.Insert(7, 70)
+	before := tl.Stats()
+	if !tl.Probe(7) {
+		t.Fatal("Probe(7) = false for cached entry")
+	}
+	if tl.Probe(8) {
+		t.Fatal("Probe(8) = true for uncached entry")
+	}
+	if after := tl.Stats(); after != before {
+		t.Fatalf("Probe mutated stats: before %+v, after %+v", before, after)
+	}
+}
+
 func BenchmarkLookupHit(b *testing.B) {
 	tl := NewDefault()
 	tl.Insert(42, 42)

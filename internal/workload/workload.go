@@ -62,6 +62,23 @@ type Transactional interface {
 	TxnAccesses() int
 }
 
+// MaxTxnAccesses returns the largest transaction footprint any canonical
+// workload construction produces: Silo touches 8 records per transaction
+// and a scan-heavy YCSB widens every operation to 1 + ScanLength. Batch
+// sizing (the demeter-sim -batch flag) validates against this so a batch
+// always holds at least one whole transaction.
+func MaxTxnAccesses() int {
+	// Constructor-minimum sizings: TxnAccesses depends only on the mix,
+	// never on table size, so the smallest legal instances suffice.
+	max := NewSilo(128, 1, 1).TxnAccesses()
+	for _, mix := range []YCSBMix{YCSBA, YCSBB, YCSBC, YCSBE} {
+		if t := NewYCSB(64, 1, 1, mix).TxnAccesses(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
 // pageGVA converts a region start and page index to a byte address.
 func pageGVA(region, page uint64) uint64 { return region + page*mem.PageSize }
 
