@@ -72,6 +72,9 @@ var (
 	rebaseline = flag.Bool("rebaseline", false, "bench: record the measured access paths as the new baseline")
 	gate       = flag.Bool("gate", false, "bench: fail when an access path regresses past the baseline envelope (+5%)")
 	batchSize  = flag.Int("batch", engine.DefaultBatchSize, "accesses per engine slice batch (must cover the largest workload transaction)")
+	healthMon  = flag.Bool("health", false, "chaos: arm per-VM delegation health monitors (degraded-mode failover + recovery handback)")
+	heartbeat  = flag.Int("heartbeat", 0, "chaos: health check period in classification epochs (0 = default 4; requires -health)")
+	failover   = flag.Bool("failover", true, "chaos: attach a host-side fallback TMM while degraded; -failover=false freezes tiering instead (requires -health)")
 )
 
 func main() {
@@ -593,6 +596,22 @@ func runChaos(s experiments.Scale, spec string, seed uint64, floor float64, ladd
 		}
 		cfg.Ladder = rungs
 	}
+	cfg.Health = *healthMon
+	if *healthMon {
+		cfg.HeartbeatEpochs = *heartbeat
+		cfg.NoFailover = !*failover
+	} else {
+		healthKnobSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "heartbeat" || f.Name == "failover" {
+				healthKnobSet = true
+			}
+		})
+		if healthKnobSet {
+			fmt.Fprintf(os.Stderr, "-heartbeat/-failover require -health\n")
+			os.Exit(2)
+		}
+	}
 	// Config problems are usage errors (exit 2); only invariant
 	// violations from the run itself exit 1.
 	if err := cfg.Normalized(s).Validate(); err != nil {
@@ -691,7 +710,8 @@ subcommands:
           -rebaseline to refresh BENCH_baseline.json, -gate to enforce it)
   chaos   fault-injection ladder with end-of-run invariant checks
           (-seed/-faults/-floor/-ladder; exits 1 on violations, report
-          still printed)
+          still printed; -health arms per-VM delegation monitors, tuned
+          with -heartbeat N epochs and -failover=false for detect-only)
   hunt    adversarial scenario search: breed scenarios (-generations,
           -population, -budget), minimize failures, freeze them under
           -corpus as deterministic regression cases (defaults to -scale

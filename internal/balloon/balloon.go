@@ -41,6 +41,14 @@ import (
 var FaultOpTimeout = fault.Register("balloon.op-timeout", "balloon",
 	"guest balloon op stalls magnitude × deadline past its budget", 0.1, 4)
 
+// FaultStaleStats wedges the guest's telemetry publisher: a fired check
+// suppresses that period's MemStats report, so the host keeps seeing the
+// previous one and its When timestamp stagnates. Sustained firing is the
+// "stale guest telemetry" signal the delegation health monitor watches.
+// Default rate 0 — armed only by explicit failure scenarios.
+var FaultStaleStats = fault.Register("guest.stale-stats", "balloon",
+	"guest telemetry publisher wedges: stats reports stop refreshing while the fault fires", 0, 0)
+
 // CompBalloon is the ledger component for balloon driver work.
 const CompBalloon = "balloon"
 
@@ -393,6 +401,9 @@ func (d *Double) StartStats(period sim.Duration) {
 		panic("balloon: stats publisher started twice")
 	}
 	d.publisher = d.eng.StartTicker(period, func(now sim.Time) {
+		if d.vm.Machine.Fault.Fire(FaultStaleStats) {
+			return // publisher wedged: the host keeps the stale report
+		}
 		st := d.vm.Stats()
 		fast, slow := st.FastHits-d.lastFast, st.SlowHits-d.lastSlow
 		d.lastFast, d.lastSlow = st.FastHits, st.SlowHits

@@ -127,3 +127,58 @@ func TestRebalancerSurvivesStalledGuest(t *testing.T) {
 		t.Fatal("requests wedged in flight after quiesce")
 	}
 }
+
+// TestBalloonWatchdogTimeoutStorm drives ten reprovision cycles through a
+// sustained storm of op stalls and dropped completion IRQs. Every
+// SetProvision onDone must fire exactly once per cycle (the watchdog's
+// contract: late, but never lost, never doubled), the timeout/recovery
+// counters must stay mutually consistent, and accounting must agree with
+// the guest at the end.
+func TestBalloonWatchdogTimeoutStorm(t *testing.T) {
+	eng, vm, d := chaosRig(t, 6000, func(in *fault.Injector) {
+		in.ArmMagnitude(FaultOpTimeout, 0.5, 6)
+		in.Arm(virtio.FaultCompletionDrop, 0.5)
+	})
+	targets := []uint64{2000, 3000, 1500, 2500, 1000, 2800, 1200, 3000, 1000, 2000}
+	fires := 0
+	for cycle, fmem := range targets {
+		before := fires
+		d.SetProvision(fmem, 4000, func() { fires++ })
+		eng.RunUntilIdle()
+		if got := fires - before; got != 1 {
+			t.Fatalf("cycle %d: onDone fired %d times, want exactly 1", cycle, got)
+		}
+	}
+	d.Quiesce()
+
+	var timeouts, recovered, aborts, resubmits, polls uint64
+	for _, side := range []*Balloon{d.FMEM, d.SMEM} {
+		timeouts += side.Timeouts
+		recovered += side.Recovered
+		aborts += side.Aborts
+		resubmits += side.Resubmits
+		polls += side.QueueStats().PollRecovered
+	}
+	if timeouts == 0 {
+		t.Fatal("watchdog never fired through a sustained stall storm")
+	}
+	if recovered == 0 {
+		t.Fatal("no timeout-driven recoveries despite dropped IRQs")
+	}
+	// A watchdog expiry counts either a recovery (poll reaped a lost
+	// completion) or a timeout, never both; aborts happen only after a
+	// timeout or after exhausting ring-full resubmissions; and each
+	// recovery is backed by a queue poll-reap.
+	if aborts > timeouts+resubmits {
+		t.Fatalf("aborts %d exceed timeouts %d + resubmits %d", aborts, timeouts, resubmits)
+	}
+	if recovered > polls {
+		t.Fatalf("balloon recovered %d but queues poll-reaped only %d", recovered, polls)
+	}
+	if d.Inflight() != 0 {
+		t.Fatalf("inflight = %d after quiesce", d.Inflight())
+	}
+	if d.FMEM.Held() != vm.Kernel.BalloonedOn(0) || d.SMEM.Held() != vm.Kernel.BalloonedOn(1) {
+		t.Fatal("balloon/guest accounting diverged after the storm")
+	}
+}

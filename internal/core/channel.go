@@ -23,6 +23,7 @@ type SampleChannel struct {
 	head    uint64 // consumer cursor (owned by the single consumer)
 	tail    atomic.Uint64
 	dropped atomic.Uint64
+	wedged  atomic.Bool
 }
 
 type sampleSlot struct {
@@ -70,8 +71,24 @@ func (c *SampleChannel) Push(s pebs.Sample) bool {
 	}
 }
 
+// Wedge freezes the consumer cursor: Pop refuses until Unwedge. This is
+// the channel.wedge fault — the consumer side of the delegation path
+// stops making progress, producers lap the ring and every further Push
+// drops. Producers are unaffected, so the drop counter keeps climbing,
+// which is exactly the signal the health monitor keys on.
+func (c *SampleChannel) Wedge() { c.wedged.Store(true) }
+
+// Unwedge releases a wedged consumer cursor (recovery handback).
+func (c *SampleChannel) Unwedge() { c.wedged.Store(false) }
+
+// Wedged reports whether the consumer cursor is wedged.
+func (c *SampleChannel) Wedged() bool { return c.wedged.Load() }
+
 // Pop removes the oldest sample. Only the single consumer may call it.
 func (c *SampleChannel) Pop() (pebs.Sample, bool) {
+	if c.wedged.Load() {
+		return pebs.Sample{}, false
+	}
 	slot := &c.slots[c.head&c.mask]
 	if slot.seq.Load() != c.head+1 {
 		return pebs.Sample{}, false // not yet published

@@ -165,3 +165,37 @@ func TestChannelConcurrentProducers(t *testing.T) {
 		t.Fatalf("consumed %d, pushed %d", len(seen), totalPushed)
 	}
 }
+
+// TestChannelWedge models a wedged consumer (channel.wedge fault): a
+// wedged channel refuses pops so the ring fills and producers start
+// dropping; unwedging restores consumption without losing buffered
+// samples.
+func TestChannelWedge(t *testing.T) {
+	c := NewSampleChannel(4)
+	c.Push(pebs.Sample{GVPN: 1})
+	c.Wedge()
+	if !c.Wedged() {
+		t.Fatal("Wedged() false after Wedge")
+	}
+	if _, ok := c.Pop(); ok {
+		t.Fatal("pop succeeded on wedged channel")
+	}
+	// Producers keep pushing; once the ring fills, samples drop.
+	for i := uint64(2); i <= 6; i++ {
+		c.Push(pebs.Sample{GVPN: i})
+	}
+	if c.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", c.Dropped())
+	}
+	c.Unwedge()
+	if c.Wedged() {
+		t.Fatal("Wedged() true after Unwedge")
+	}
+	// Buffered samples survive the wedge in order.
+	for i := uint64(1); i <= 4; i++ {
+		s, ok := c.Pop()
+		if !ok || s.GVPN != i {
+			t.Fatalf("pop after unwedge = %v,%v, want %d", s, ok, i)
+		}
+	}
+}

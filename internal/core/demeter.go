@@ -4,11 +4,34 @@ import (
 	"errors"
 	"fmt"
 
+	"demeter/internal/fault"
 	"demeter/internal/hypervisor"
 	"demeter/internal/mem"
+	"demeter/internal/obs"
 	"demeter/internal/pagetable"
 	"demeter/internal/pebs"
 	"demeter/internal/sim"
+)
+
+// Delegation-path fault points. All register at default rate 0: a guest
+// agent failing is a scenario to arm deliberately (chaos -faults, the
+// degraded experiment, the explorer's agent-failure dimension), not part
+// of the ambient DefaultSchedule — the default chaos ladder keeps its
+// historical behavior.
+var (
+	// FaultAgentCrash kills the guest tiering agent: epochs, drains and
+	// heartbeats stop. Magnitude is the restart latency in epochs before
+	// a recovery probe can succeed.
+	FaultAgentCrash = fault.Register("guest.agent-crash", "core",
+		"guest tiering agent crashes; delegation freezes until the agent restarts (magnitude = restart latency in epochs)", 0, 32)
+	// FaultAgentStall pauses the agent (GC pause, vCPU starvation) for
+	// magnitude epochs; it recovers on its own.
+	FaultAgentStall = fault.Register("guest.agent-stall", "core",
+		"guest tiering agent stalls for magnitude epochs (GC pause, CPU starvation), then resumes by itself", 0, 16)
+	// FaultChannelWedge freezes the sample channel's consumer cursor so
+	// the ring fills and every further push drops.
+	FaultChannelWedge = fault.Register("channel.wedge", "core",
+		"sample channel consumer wedges: the ring laps and all further pushes drop until host reconciliation", 0, 0)
 )
 
 // Ledger component names (the Figure 7 breakdown categories).
@@ -120,6 +143,11 @@ type Stats struct {
 type Demeter struct {
 	Cfg Config
 
+	// OnEpoch, when set, receives a heartbeat at the end of every
+	// completed classification epoch. A crashed or stalled agent stops
+	// beating — this is the delegation health monitor's liveness signal.
+	OnEpoch func(now sim.Time)
+
 	eng    *sim.Engine
 	vm     *hypervisor.VM
 	unit   *pebs.Unit
@@ -129,6 +157,23 @@ type Demeter struct {
 	poll   *sim.Ticker
 	active bool
 	stats  Stats
+
+	// Agent failure state (guest.agent-crash / guest.agent-stall). A
+	// crashed agent stays down until restartAt, when a recovery probe may
+	// restart it; a stalled agent resumes by itself at stalledUntil.
+	crashed      bool
+	restartAt    sim.Time
+	stalledUntil sim.Time
+
+	// hookInstalled guards the context-switch drain hook: kernel hooks
+	// accumulate, so across degrade/handback re-attach cycles the hook is
+	// registered exactly once and consults d.active.
+	hookInstalled bool
+	// obsInstalled guards the delegation obs hook the same way.
+	obsInstalled bool
+	// prevDropped accumulates samples dropped by channels discarded at
+	// re-attach, so delegation_samples_dropped is monotonic per VM.
+	prevDropped uint64
 
 	// retryQ holds pages whose relocation failed transiently (busy page,
 	// copy fault, exhausted target pool); each entry carries a capped
@@ -170,6 +215,16 @@ func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 	}
 	d.eng, d.vm, d.active = eng, vm, true
 
+	// A (re-)attach is a fresh agent instance: any prior crash or stall
+	// is gone, and retry state pointing at the old tree is stale.
+	d.crashed, d.restartAt, d.stalledUntil = false, 0, 0
+	d.retryQ = nil
+	if d.ch != nil {
+		// Drops counted by the discarded channel must survive into the
+		// monotonic per-VM metric.
+		d.prevDropped += d.ch.Dropped()
+	}
+
 	pcfg := pebs.DefaultConfig()
 	pcfg.SamplePeriod = d.Cfg.SamplePeriod
 	pcfg.LatencyThreshold = d.Cfg.LatencyThreshold
@@ -190,23 +245,31 @@ func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 	d.rangeRetries = make(map[uint64]int)
 
 	// Buffer overshoots raise PMIs whose handler drains immediately; the
-	// fixed low sample frequency keeps these rare (§3.2.2).
+	// fixed low sample frequency keeps these rare (§3.2.2). A crashed or
+	// stalled agent leaves PMIs unserviced — samples rot in the unit
+	// buffer and overflow there instead.
 	unit.OnPMI = func() {
+		if d.agentDown() {
+			return
+		}
 		vm.ChargeGuest(CompTrack, vm.Machine.Cost.PMICost)
 		d.drain()
 	}
 
 	if d.Cfg.DrainAtContextSwitch {
-		vm.Kernel.RegisterContextSwitchHook(func() {
-			if d.active {
-				d.drain()
-			}
-		})
+		if !d.hookInstalled {
+			d.hookInstalled = true
+			vm.Kernel.RegisterContextSwitchHook(func() {
+				if d.active && !d.agentDown() {
+					d.drain()
+				}
+			})
+		}
 	} else {
 		// Ablation: dedicated polling thread, continuously burning CPU
 		// like HeMem's collection threads.
 		d.poll = eng.StartTicker(d.Cfg.PollPeriod, func(sim.Time) {
-			if !d.active {
+			if !d.active || d.agentDown() {
 				return
 			}
 			vm.ChargeGuest(CompTrack, d.Cfg.PollPeriod/20) // 5% of a core
@@ -218,6 +281,22 @@ func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 		if d.active {
 			d.epoch()
 		}
+	})
+
+	d.installObs()
+}
+
+// installObs publishes the delegation sample-loss counter once per
+// Demeter instance. Snapshot-hook only — the push path stays untouched.
+func (d *Demeter) installObs() {
+	o := d.vm.Machine.Obs
+	if o == nil || d.obsInstalled {
+		return
+	}
+	d.obsInstalled = true
+	vmLabel := fmt.Sprintf("%d", d.vm.ID)
+	o.Reg.OnSnapshot(func(r *obs.Registry) {
+		r.Counter("delegation_samples_dropped", "vm", vmLabel).Set(d.ChannelDropped())
 	})
 }
 
@@ -232,6 +311,74 @@ func (d *Demeter) Detach() {
 		d.poll.Stop()
 	}
 	d.unit.Disarm()
+}
+
+// Active reports whether the policy is currently attached.
+func (d *Demeter) Active() bool { return d.active }
+
+// agentDown reports whether the guest agent is crashed or mid-stall.
+func (d *Demeter) agentDown() bool {
+	return d.crashed || d.eng.Now() < d.stalledUntil
+}
+
+// AgentAlive reports whether the delegation agent is currently running.
+// The health monitor never reads this directly — it infers liveness from
+// heartbeats, as a real host must — but tests and reports may.
+func (d *Demeter) AgentAlive() bool { return d.active && !d.agentDown() }
+
+// ProbeAgent is the host's recovery probe: it reports whether the guest
+// agent could serve delegation again at time now. A crashed agent
+// restarts only once its restart latency has elapsed; a stalled agent
+// recovers when the stall expires. The probe itself has no side effects
+// — the actual restart is the monitor's re-Attach.
+func (d *Demeter) ProbeAgent(now sim.Time) bool {
+	if d.crashed {
+		return now >= d.restartAt
+	}
+	return now >= d.stalledUntil
+}
+
+// ChannelDropped returns the total delegation samples dropped on a full
+// ring across this VM's lifetime, including channels discarded by
+// degraded-mode re-attachment.
+func (d *Demeter) ChannelDropped() uint64 {
+	n := d.prevDropped
+	if d.ch != nil {
+		n += d.ch.Dropped()
+	}
+	return n
+}
+
+// Channel exposes the live sample channel for tests.
+func (d *Demeter) Channel() *SampleChannel { return d.ch }
+
+// Reconcile re-arms a freshly re-attached classifier after a degraded
+// window: pre-handback samples buffered in the PEBS unit are discarded
+// (they predate the fallback TMM's relocations and must not skew the
+// rebuilt tree), and every tracked page currently resident in FMEM is
+// recorded once so the tree starts from the placement the fallback
+// produced instead of cold-starting and churning it. The scan is charged
+// to the guest classify ledger like any other PTE walk.
+func (d *Demeter) Reconcile() {
+	if !d.active {
+		return
+	}
+	d.unit.Drain()
+	d.ch.Unwedge()
+	d.ch.Drain(func(pebs.Sample) {})
+	cm := &d.vm.Machine.Cost
+	gpt := d.vm.Proc.GPT
+	kernel := d.vm.Kernel
+	visited := 0
+	for _, r := range d.trackedRegions() {
+		visited += gpt.ScanRange(r.StartPage, r.EndPage, func(gvpn uint64, e *pagetable.Entry) bool {
+			if kernel.NodeOfGPFN(mem.Frame(e.Value())) == 0 {
+				d.tree.Record(gvpn)
+			}
+			return true
+		})
+	}
+	d.vm.ChargeGuest(CompClassify, sim.Duration(visited)*cm.PTEOpCost)
 }
 
 // trackedRegions converts the process VMAs to page ranges, excluding
@@ -264,8 +411,30 @@ func (d *Demeter) drain() {
 	}
 }
 
-// epoch consumes the channel, advances the classifier and relocates.
+// epoch consumes the channel, advances the classifier and relocates. A
+// crashed or stalled agent skips the whole body — no classification, no
+// relocation, and crucially no OnEpoch heartbeat.
 func (d *Demeter) epoch() {
+	inj := d.vm.Machine.Fault
+	if d.crashed {
+		return
+	}
+	if fired, magn := inj.FireMagnitude(FaultAgentCrash); fired {
+		d.crashed = true
+		d.restartAt = d.eng.Now() + sim.Duration(magn)*d.Cfg.EpochPeriod
+		return
+	}
+	if fired, magn := inj.FireMagnitude(FaultAgentStall); fired {
+		if until := d.eng.Now() + sim.Duration(magn)*d.Cfg.EpochPeriod; until > d.stalledUntil {
+			d.stalledUntil = until
+		}
+	}
+	if d.eng.Now() < d.stalledUntil {
+		return
+	}
+	if inj.Fire(FaultChannelWedge) {
+		d.ch.Wedge()
+	}
 	n := d.ch.Drain(func(s pebs.Sample) { d.tree.Record(s.GVPN) })
 	cm := &d.vm.Machine.Cost
 	d.vm.ChargeGuest(CompClassify, sim.Duration(n)*cm.PTEOpCost)
@@ -284,6 +453,9 @@ func (d *Demeter) epoch() {
 	}
 	d.processRetries()
 	d.relocate()
+	if d.OnEpoch != nil {
+		d.OnEpoch(d.eng.Now())
+	}
 }
 
 // requeue schedules a transiently failed candidate for a later epoch with

@@ -73,6 +73,7 @@ type Executor struct {
 	finished   bool
 	startedAt  sim.Time
 	finishedAt sim.Time
+	lastSlice  sim.Time
 }
 
 // NewExecutor wires a workload to a VM. The workload's Setup runs
@@ -109,6 +110,13 @@ func (x *Executor) Start() {
 // OpsDone returns the number of accesses executed so far.
 func (x *Executor) OpsDone() uint64 { return x.opsDone }
 
+// LastActivity returns the timestamp of the executor's most recent
+// activation: a one-store-per-slice progress stamp the delegation health
+// monitor reads to tell "the VM is idle" apart from "the guest is lying"
+// — stale telemetry only counts against a guest whose workload is
+// demonstrably running.
+func (x *Executor) LastActivity() sim.Time { return x.lastSlice }
+
 // PublishObs registers a snapshot hook exposing the executor's progress
 // (ops done, workload runtime once finished) under the given vm label.
 // Like all obs publishing it costs nothing until a snapshot is taken.
@@ -139,6 +147,7 @@ func (x *Executor) slice() {
 	if x.finished {
 		return
 	}
+	x.lastSlice = x.eng.Now()
 	vm := x.VM
 	// Management work (TMM kthreads, flush instructions) occupies one
 	// vCPU; with the workload spread across all vCPUs the wall-clock

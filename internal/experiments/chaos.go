@@ -9,9 +9,11 @@ import (
 	"demeter/internal/core"
 	"demeter/internal/engine"
 	"demeter/internal/fault"
+	"demeter/internal/health"
 	"demeter/internal/hypervisor"
 	"demeter/internal/obs"
 	"demeter/internal/sim"
+	"demeter/internal/tmm"
 )
 
 // ChaosConfig parameterizes a chaos run: a seed-driven fault schedule is
@@ -50,6 +52,20 @@ type ChaosConfig struct {
 	// 80% of what the guests were promised. Values <= 1 mean fully
 	// backed (the default).
 	Overcommit float64 `json:"overcommit,omitempty"`
+	// Health arms the per-VM delegation health monitor (meaningful for
+	// the demeter design — other designs have no guest delegate to
+	// watch): heartbeat checks, degraded-mode failover, recovery
+	// handback. All three health fields are omitempty so pre-existing
+	// frozen scenarios keep their hashes.
+	Health bool `json:"health,omitempty"`
+	// HeartbeatEpochs is the monitor's check period in classification
+	// epochs (0 with Health = 4). Only meaningful with Health.
+	HeartbeatEpochs int `json:"heartbeat_epochs,omitempty"`
+	// NoFailover keeps the monitor detect-and-journal only: on DEGRADED
+	// the wedged delegate is detached but no host-side fallback attaches,
+	// so tiering freezes — the baseline the degraded experiment compares
+	// failover against. Only meaningful with Health.
+	NoFailover bool `json:"no_failover,omitempty"`
 }
 
 // ChaosDesigns lists the policies a chaos scenario may select. tpp-h is
@@ -96,6 +112,9 @@ func (cfg ChaosConfig) Normalized(s Scale) ChaosConfig {
 	if cfg.Overcommit < 1 {
 		cfg.Overcommit = 1
 	}
+	if cfg.Health && cfg.HeartbeatEpochs == 0 {
+		cfg.HeartbeatEpochs = 4
+	}
 	return cfg
 }
 
@@ -136,6 +155,12 @@ func (cfg ChaosConfig) Validate() error {
 	}
 	if math.IsNaN(cfg.Overcommit) || cfg.Overcommit < 1 || cfg.Overcommit > 4 {
 		return fmt.Errorf("chaos: overcommit %g outside [1, 4]", cfg.Overcommit)
+	}
+	if !cfg.Health && (cfg.HeartbeatEpochs != 0 || cfg.NoFailover) {
+		return fmt.Errorf("chaos: heartbeat/failover knobs set without health monitoring")
+	}
+	if cfg.HeartbeatEpochs < 0 || cfg.HeartbeatEpochs > 64 {
+		return fmt.Errorf("chaos: heartbeat %d epochs outside [1, 64]", cfg.HeartbeatEpochs)
 	}
 	return nil
 }
@@ -341,10 +366,39 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) (r RungResult) {
 		}
 	}
 
+	// Delegation health monitoring: one monitor per delegated VM,
+	// checking every HeartbeatEpochs epochs. Non-demeter designs have no
+	// guest delegate, so Health is a no-op for them by construction.
+	var mons []*health.Monitor
+	if cfg.Health {
+		for i, pol := range policies {
+			d, ok := pol.(*core.Demeter)
+			if !ok {
+				continue
+			}
+			hcfg := health.DefaultConfig(s.EpochPeriod)
+			hcfg.CheckPeriod = sim.Duration(cfg.HeartbeatEpochs) * s.EpochPeriod
+			hcfg.StaleAfter = 4 * hcfg.CheckPeriod
+			hcfg.ProbeBackoff = sim.Backoff{Base: hcfg.CheckPeriod, Max: 16 * hcfg.CheckPeriod}
+			hcfg.Failover = !cfg.NoFailover
+			hcfg.Fallback = tmm.DefaultFallbackConfig(s.ScanPeriod, s.ScanBatch, s.MigrationBatch)
+			mon := health.NewMonitor(hcfg, d, doubles[i])
+			mon.AttachExecutor(xs[i])
+			mon.Start(eng, vms[i])
+			mons = append(mons, mon)
+		}
+	}
+
 	// Double the horizon: faulty rungs legitimately run slower, and the
 	// degradation floor (not the horizon) is the performance assertion.
 	finished := engine.RunAll(eng, 2*s.Horizon, xs...)
 	reb.Stop()
+	// Monitors stop before the idle drain: a DEGRADED monitor's probe
+	// timer self-reschedules with backoff and would otherwise keep the
+	// engine busy forever.
+	for _, mon := range mons {
+		mon.Stop()
+	}
 	for _, pol := range policies {
 		pol.Detach()
 	}
@@ -366,6 +420,11 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) (r RungResult) {
 	}
 	if err := machineAuditErr(m); err != nil {
 		r.Violations = append(r.Violations, err.Error())
+	}
+	for i, mon := range mons {
+		if err := mon.AuditErr(); err != nil {
+			r.Violations = append(r.Violations, fmt.Sprintf("VM%d: %v", i, err))
+		}
 	}
 	for i, d := range doubles {
 		k := vms[i].Kernel
@@ -389,7 +448,7 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) (r RungResult) {
 		r.Throughput = float64(ops) / wall.Seconds()
 	}
 
-	r.Report = chaosRungReport(mult, r.Throughput, inj, vms, ds, doubles)
+	r.Report = chaosRungReport(mult, r.Throughput, inj, vms, ds, doubles, mons)
 	r.Snapshot = o.Reg.Snapshot()
 	s.finishObs(fmt.Sprintf("chaos-x%g", mult), o)
 	return r
@@ -399,7 +458,7 @@ func runChaosRung(s Scale, cfg ChaosConfig, mult float64) (r RungResult) {
 // is fully deterministic for a given seed/schedule. The core line reports
 // zeros for non-demeter designs — their policy-side counters live in the
 // metrics snapshot instead.
-func chaosRungReport(mult, thpt float64, inj *fault.Injector, vms []*hypervisor.VM, ds []*core.Demeter, doubles []*balloon.Double) string {
+func chaosRungReport(mult, thpt float64, inj *fault.Injector, vms []*hypervisor.VM, ds []*core.Demeter, doubles []*balloon.Double, mons []*health.Monitor) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "rung x%g: throughput %.4g ops/s\n", mult, thpt)
 
@@ -462,5 +521,27 @@ func chaosRungReport(mult, thpt float64, inj *fault.Injector, vms []*hypervisor.
 		vq.stalls, vq.drops, vq.recovered)
 	fmt.Fprintf(&b, "  pebs:       PMIs %d, widenings %d, narrowings %d\n",
 		pe.pmis, pe.widen, pe.narrow)
+	// The health line appears only when monitors ran: default chaos
+	// output (and every pre-existing frozen corpus report) is unchanged.
+	if len(mons) > 0 {
+		var h struct {
+			checks, beats, degr, fo, probes, failed, hb, rec uint64
+			degraded                                         sim.Duration
+		}
+		for _, mon := range mons {
+			st := mon.Stats()
+			h.checks += st.Checks
+			h.beats += st.MissedBeats
+			h.degr += st.Degradations
+			h.fo += st.Failovers
+			h.probes += st.Probes
+			h.failed += st.FailedProbes
+			h.hb += st.Handbacks
+			h.rec += st.Recoveries
+			h.degraded += mon.DegradedTime()
+		}
+		fmt.Fprintf(&b, "  health:     checks %d, missed beats %d, degradations %d, failovers %d, probes %d (failed %d), handbacks %d, recoveries %d, degraded %v\n",
+			h.checks, h.beats, h.degr, h.fo, h.probes, h.failed, h.hb, h.rec, h.degraded)
+	}
 	return b.String()
 }

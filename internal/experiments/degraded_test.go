@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDegradedFailoverBoundsResidency is the experiment's acceptance
+// criterion: under crashing agents, the failover arm's slow-tier access
+// share must be strictly below the frozen-delegation arm's.
+func TestDegradedFailoverBoundsResidency(t *testing.T) {
+	e, ok := Get("degraded")
+	if !ok {
+		t.Fatal("degraded experiment not registered")
+	}
+	out := e.Run(Tiny())
+	if strings.Contains(out, "INVARIANT VIOLATED") || strings.Contains(out, "ERROR:") {
+		t.Fatalf("degraded run violated invariants:\n%s", out)
+	}
+	if !strings.Contains(out, "Failover bounds slow-tier residency") {
+		t.Fatalf("failover did not bound slow-tier residency:\n%s", out)
+	}
+	// Both arms must actually exercise the machinery being compared.
+	if !strings.Contains(out, "failovers 0") || !strings.Contains(out, "handbacks") {
+		t.Fatalf("frozen arm missing from health accounting:\n%s", out)
+	}
+}

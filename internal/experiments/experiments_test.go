@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"figure8", "figure9", "figure10", "figure11", "figure12",
 		"ablation-draining", "ablation-translation", "ablation-relocation",
 		"ablation-event", "ablation-pml", "ablation-damon", "ablation-granularity",
+		"degraded",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -3,6 +3,8 @@ package explore
 import (
 	"sort"
 
+	"demeter/internal/balloon"
+	"demeter/internal/core"
 	"demeter/internal/experiments"
 	"demeter/internal/fault"
 	"demeter/internal/simrand"
@@ -26,6 +28,12 @@ type mutator struct {
 	rateFactors []float64
 	ladderMults []float64
 	overcommits []float64
+	// guestPoints are the delegation-path failure points; arming them is a
+	// distinct dimension because they are rate-0 by default (invisible to
+	// the default schedule) and only interesting with health monitoring on.
+	guestPoints []fault.Point
+	guestRates  []float64
+	heartbeats  []int
 }
 
 func newMutator(src *simrand.Source, s experiments.Scale) *mutator {
@@ -47,6 +55,12 @@ func newMutator(src *simrand.Source, s experiments.Scale) *mutator {
 		rateFactors: []float64{0.25, 0.5, 2, 4, 8},
 		ladderMults: []float64{0.5, 1, 2, 4, 8},
 		overcommits: []float64{1, 1, 1.05, 1.1, 1.25, 1.5},
+		guestPoints: []fault.Point{
+			core.FaultAgentCrash, core.FaultAgentStall,
+			core.FaultChannelWedge, balloon.FaultStaleStats,
+		},
+		guestRates: []float64{0.02, 0.05, 0.1, 0.25, 0.5},
+		heartbeats: []int{1, 2, 4, 8, 16},
 	}
 }
 
@@ -58,7 +72,7 @@ func (m *mutator) mutate(parent Scenario) Scenario {
 	child.Config.Workloads = append([]string(nil), parent.Config.Workloads...)
 
 	for ops := 1 + m.src.Intn(3); ops > 0; ops-- {
-		switch m.src.Intn(8) {
+		switch m.src.Intn(10) {
 		case 0: // scale one fault point's rate
 			p := m.points[m.src.Intn(len(m.points))]
 			rate, armed := child.Config.Schedule[p]
@@ -116,6 +130,25 @@ func (m *mutator) mutate(parent Scenario) Scenario {
 			child.Config.Workloads = mix
 		case 7: // FMEM overcommit
 			child.Config.Overcommit = m.overcommits[m.src.Intn(len(m.overcommits))]
+		case 8: // agent-failure schedule: arm delegation-path faults
+			n := 1 + m.src.Intn(len(m.guestPoints))
+			picked := map[int]bool{}
+			for len(picked) < n {
+				picked[m.src.Intn(len(m.guestPoints))] = true
+			}
+			for i, p := range m.guestPoints { // fixed order, not map order
+				if picked[i] {
+					child.Config.Schedule[p] = m.guestRates[m.src.Intn(len(m.guestRates))]
+				}
+			}
+			// Failing agents without monitoring just freeze tiering until
+			// the floor trips — arm the monitor so the interesting space
+			// (detection, failover, handback under other faults) is searched.
+			child.Config.Health = true
+		case 9: // heartbeat configuration (always legal: forces Health on)
+			child.Config.Health = true
+			child.Config.HeartbeatEpochs = m.heartbeats[m.src.Intn(len(m.heartbeats))]
+			child.Config.NoFailover = m.src.Intn(4) == 0
 		}
 	}
 	return child

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"testing"
+
+	"demeter/internal/simrand"
+)
+
+// Magnitude-bearing points for the round-trip property: the canonical
+// form must survive parsing for points whose registration carries a
+// non-zero magnitude too (frozen corpus cases arm them).
+var (
+	testPointMag  = Register("test.gamma-mag", "fault-test", "magnitude-bearing test point", 0.1, 32)
+	testPointMag2 = Register("test.delta-mag", "fault-test", "second magnitude-bearing test point", 0, 16)
+)
+
+func schedulesEqual(a, b Schedule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, r := range a {
+		if br, ok := b[p]; !ok || br != r {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScheduleStringRoundTrip is the canonical-form property the frozen
+// corpus and the -faults flag both rely on: ParseSchedule(s.String())
+// must reproduce s exactly — rate for rate, bit for bit — for the default
+// schedule and for arbitrary seeded-random schedules over the registry,
+// including magnitude-bearing and rate-0 points and awkward float rates
+// that only survive shortest-form (%g) rendering.
+func TestScheduleStringRoundTrip(t *testing.T) {
+	check := func(name string, s Schedule) {
+		t.Helper()
+		got, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("%s: ParseSchedule(%q): %v", name, s.String(), err)
+		}
+		if !schedulesEqual(s, got) {
+			t.Fatalf("%s: round trip lost information:\n  in:  %v\n  out: %v\n  via %q", name, s, got, s.String())
+		}
+	}
+
+	check("default", DefaultSchedule())
+
+	// Hand-picked awkward rates: non-terminating binary fractions, a
+	// denormal-adjacent tiny rate, rate 0 (armed but never firing), and
+	// the magnitude-bearing points.
+	check("awkward", Schedule{
+		testPointA:    1.0 / 3.0,
+		testPointB:    0,
+		testPointMag:  0.1,
+		testPointMag2: 1e-17,
+	})
+
+	points := Points()
+	src := simrand.New(0xfa51)
+	for i := 0; i < 200; i++ {
+		s := make(Schedule)
+		n := 1 + src.Intn(len(points))
+		for j := 0; j < n; j++ {
+			info := points[src.Intn(len(points))]
+			s[info.Point] = src.Float64()
+		}
+		// Every tenth schedule pins a magnitude-bearing point at an exact
+		// third so the shortest-form property is exercised there too.
+		if i%10 == 0 {
+			s[testPointMag] = 2.0 / 3.0
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("random schedule %d invalid before round trip: %v", i, err)
+		}
+		check("random", s)
+	}
+}

@@ -243,6 +243,14 @@ func (vm *VM) journal(t obs.EventType, note string, a1, a2 uint64) {
 	})
 }
 
+// JournalEvent is the exported control-plane journaling hook for layers
+// built outside the hypervisor (the delegation health monitor): same
+// nil-safety and event shape as the internal helper. note must be a
+// static string — the journal's zero-alloc contract.
+func (vm *VM) JournalEvent(t obs.EventType, note string, a1, a2 uint64) {
+	vm.journal(t, note, a1, a2)
+}
+
 // WirePEBS installs a sampling unit on the VM, inheriting the machine's
 // fault injector and, when obs is attached, the journal (so PMIs leave
 // records). Policies that build their own units call this instead of

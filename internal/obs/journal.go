@@ -30,6 +30,13 @@ const (
 	// EvFault is one injected fault firing (Note = point name, Arg1 =
 	// magnitude as math.Float64bits).
 	EvFault
+	// EvHealthTransition is one delegation health state change (Note =
+	// target state name, Arg1 = signal bitmask that drove it, Arg2 =
+	// prior state).
+	EvHealthTransition
+	// EvHealthProbe is one degraded-mode recovery probe (Note =
+	// "probe-ok" or "probe-fail", Arg1 = attempt number).
+	EvHealthProbe
 )
 
 func (t EventType) String() string {
@@ -48,6 +55,10 @@ func (t EventType) String() string {
 		return "tlb_full_flush"
 	case EvFault:
 		return "fault"
+	case EvHealthTransition:
+		return "health_transition"
+	case EvHealthProbe:
+		return "health_probe"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -66,6 +77,8 @@ func (t EventType) category() string {
 		return "tlb"
 	case EvFault:
 		return "fault"
+	case EvHealthTransition, EvHealthProbe:
+		return "health"
 	default:
 		return "other"
 	}

@@ -36,6 +36,21 @@ func DefaultVTMMConfig() VTMMConfig {
 	}
 }
 
+// DefaultFallbackConfig tunes a VTMM instance for degraded-mode duty:
+// the delegation health monitor attaches it host-side when a guest agent
+// stops cooperating, so its cadence must follow the run's scaled periods
+// rather than the paper's full-scale defaults. The A-bit scan loop and
+// classification are unchanged — the fallback is deliberately the
+// hypervisor-only baseline the paper argues against, because it is the
+// only thing a host can run without trusting the guest.
+func DefaultFallbackConfig(sortPeriod sim.Duration, scanBatch, migrationBatch int) VTMMConfig {
+	cfg := DefaultVTMMConfig()
+	cfg.SortPeriod = sortPeriod
+	cfg.ScanBatchPages = scanBatch
+	cfg.MigrationBatch = migrationBatch
+	return cfg
+}
+
 // VTMM models vTMM (EuroSys'23): hypervisor-based tiered memory
 // management that tracks guest writes with Intel PML and reads with EPT
 // A-bit scanning, classifies by sorting per-page access counts, and
