@@ -12,6 +12,7 @@
 //	demeter-sim -scale tiny figure2       # quick smoke run
 //	demeter-sim -scale tiny chaos         # fault-injection run with invariant checks
 //	demeter-sim hunt -seed 1              # adversarial scenario search -> corpus
+//	demeter-sim serve -config cfg.json    # memtierd-style interactive daemon
 //	demeter-sim bench -quick              # regression numbers → BENCH_results.json
 //	demeter-sim bench -rebaseline         # refresh BENCH_baseline.json
 //	demeter-sim -metrics m.json figure2   # dump the merged metrics snapshot
@@ -28,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,6 +38,7 @@ import (
 	"testing"
 	"time"
 
+	"demeter/internal/daemon"
 	"demeter/internal/engine"
 	"demeter/internal/experiments"
 	"demeter/internal/explore"
@@ -75,6 +78,8 @@ var (
 	healthMon  = flag.Bool("health", false, "chaos: arm per-VM delegation health monitors (degraded-mode failover + recovery handback)")
 	heartbeat  = flag.Int("heartbeat", 0, "chaos: health check period in classification epochs (0 = default 4; requires -health)")
 	failover   = flag.Bool("failover", true, "chaos: attach a host-side fallback TMM while degraded; -failover=false freezes tiering instead (requires -health)")
+	serveCfg   = flag.String("config", "configs/serve.sample.json", "serve: daemon config file")
+	serveIn    = flag.String("script", "", "serve: command script file ('' = stdin)")
 )
 
 func main() {
@@ -139,6 +144,7 @@ func main() {
 		fmt.Printf("%-22s %s\n", "chaos", "Fault-injection ladder with end-of-run invariant checks")
 		fmt.Printf("%-22s %s\n", "hunt", "Adversarial scenario search; freezes failures into the corpus")
 		fmt.Printf("%-22s %s\n", "top", "Run experiments and print the hottest counters")
+		fmt.Printf("%-22s %s\n", "serve", "Interactive daemon: trackers × policies under a live workload stream")
 	case "chaos":
 		runChaos(scale, *faults, *seed, *floor, *ladder)
 	case "hunt":
@@ -160,6 +166,11 @@ func main() {
 	case "bench":
 		if err := runBench(scale, workers); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	case "serve":
+		if err := runServe(*serveCfg, *serveIn); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)
 		}
 	default:
@@ -520,7 +531,7 @@ func benchVM() (*hypervisor.VM, *workload.GUPS) {
 	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(22000, 110000))
 	m.AttachObs(obs.New(0))
 	vm, _ := m.NewVM(hypervisor.VMConfig{VCPUs: 4, GuestFMEM: 22000, GuestSMEM: 110000, FMEMBacking: 0, SMEMBacking: 1})
-	wl := workload.NewGUPS(114688, 1<<40, 1)
+	wl := workload.Must(workload.NewGUPS(114688, 1<<40, 1))
 	wl.Setup(vm.Proc)
 	return vm, wl
 }
@@ -556,6 +567,30 @@ func benchmarkAccessBatch(b *testing.B) {
 		vm.AccessBatch(buf[:n])
 		done += n
 	}
+}
+
+// runServe boots the interactive daemon from a config file and drives
+// it from a script file or stdin. The daemon is deterministic: one
+// config plus one script replays to a byte-identical transcript.
+func runServe(cfgPath, scriptPath string) error {
+	cfg, err := daemon.LoadConfig(cfgPath)
+	if err != nil {
+		return err
+	}
+	d, err := daemon.New(cfg)
+	if err != nil {
+		return err
+	}
+	in := io.Reader(os.Stdin)
+	if scriptPath != "" {
+		f, err := os.Open(scriptPath)
+		if err != nil {
+			return fmt.Errorf("-script: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	return d.Serve(in, os.Stdout)
 }
 
 func writeMemProfile() {
@@ -716,6 +751,11 @@ subcommands:
           -population, -budget), minimize failures, freeze them under
           -corpus as deterministic regression cases (defaults to -scale
           tiny; reports are byte-identical at any -parallel)
+  serve   memtierd-style interactive daemon: open-ended simulation under
+          a live workload stream, tracker × policy pairings from -config,
+          commands from -script or stdin (run/stats/policy -dump
+          accessed/tracker switch/vm add/vm remove/quit); one config +
+          script replays to a byte-identical transcript
   <id>    run one experiment
 
 observability: -metrics FILE dumps the merged metrics snapshot as JSON;

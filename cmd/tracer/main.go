@@ -31,13 +31,13 @@ const (
 func buildWorkload(name string) workload.Workload {
 	switch name {
 	case "gups":
-		return workload.NewGUPS(footprint, ops, 1)
+		return workload.Must(workload.NewGUPS(footprint, ops, 1))
 	case "silo":
-		return workload.NewSilo(footprint, ops/8, 1)
+		return workload.Must(workload.NewSilo(footprint, ops/8, 1))
 	case "ycsb":
-		return workload.NewYCSB(footprint, ops/2, 1, workload.YCSBB)
+		return workload.Must(workload.NewYCSB(footprint, ops/2, 1, workload.YCSBB))
 	case "xsbench":
-		return workload.NewXSBench(footprint, ops/5, 1)
+		return workload.Must(workload.NewXSBench(footprint, ops/5, 1))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q (gups|silo|ycsb|xsbench)\n", name)
 		os.Exit(2)

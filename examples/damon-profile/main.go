@@ -36,7 +36,7 @@ func newRig() (*sim.Engine, *hypervisor.VM, *engine.Executor, *workload.LibLinea
 	if err != nil {
 		panic(err)
 	}
-	wl := workload.NewLibLinear(features, ops, 7)
+	wl := workload.Must(workload.NewLibLinear(features, ops, 7))
 	return eng, vm, engine.NewExecutor(eng, vm, wl), wl
 }
 

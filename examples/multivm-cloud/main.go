@@ -30,11 +30,11 @@ func buildWorkload(i int) workload.Workload {
 	seed := uint64(i) + 1
 	switch i % 3 {
 	case 0:
-		return workload.NewGUPS(footprint, opsPerVM, seed)
+		return workload.Must(workload.NewGUPS(footprint, opsPerVM, seed))
 	case 1:
-		return workload.NewSilo(footprint, opsPerVM/8, seed)
+		return workload.Must(workload.NewSilo(footprint, opsPerVM/8, seed))
 	default:
-		return workload.NewXSBench(footprint, opsPerVM/5, seed)
+		return workload.Must(workload.NewXSBench(footprint, opsPerVM/5, seed))
 	}
 }
 

@@ -61,7 +61,7 @@ func main() {
 	var xs []*engine.Executor
 	for i, vm := range vmRefs {
 		xs = append(xs, engine.NewExecutor(eng, vm,
-			workload.NewGUPS(sizes[i], 250_000, uint64(i)+1)))
+			workload.Must(workload.NewGUPS(sizes[i], 250_000, uint64(i)+1))))
 	}
 	if !engine.RunAll(eng, 300*sim.Second, xs...) {
 		panic("did not finish")

@@ -37,7 +37,7 @@ func run(withDemeter bool) (runtime sim.Duration, hotFast float64, d *core.Demet
 		panic(err)
 	}
 
-	wl := workload.NewGUPS(footprint, ops, 42)
+	wl := workload.Must(workload.NewGUPS(footprint, ops, 42))
 	x := engine.NewExecutor(eng, vm, wl)
 
 	if withDemeter {

@@ -47,7 +47,7 @@ func run(design string) *stats.Histogram {
 		if err != nil {
 			panic(err)
 		}
-		x := engine.NewExecutor(eng, vm, workload.NewSilo(tablePg, txns, uint64(i)+1))
+		x := engine.NewExecutor(eng, vm, workload.Must(workload.NewSilo(tablePg, txns, uint64(i)+1)))
 		x.TxnHist = stats.NewHistogram()
 		var p policy
 		switch design {

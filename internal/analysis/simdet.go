@@ -27,6 +27,9 @@ var simPackages = map[string]bool{
 	"explore":     true,
 	"core":        true,
 	"mem":         true,
+	"track":       true,
+	"policy":      true,
+	"daemon":      true,
 }
 
 // IsSimulationPackage reports whether the import path names a package

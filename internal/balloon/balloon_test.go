@@ -190,7 +190,7 @@ func TestStatsQueuePublishes(t *testing.T) {
 	eng.RunUntilIdle()
 	d.StartStats(5 * sim.Millisecond)
 
-	wl := workload.NewGUPS(2048, 100_000, 1)
+	wl := workload.Must(workload.NewGUPS(2048, 100_000, 1))
 	x := engine.NewExecutor(eng, vm, wl)
 	engine.RunAll(eng, 10*sim.Second, x)
 	d.StopStats()
@@ -236,8 +236,8 @@ func TestRebalancerShiftsFMEMTowardPressure(t *testing.T) {
 	r.Start(10 * sim.Millisecond)
 
 	// VM0 is memory-hungry (big footprint => high slow share), VM1 idle.
-	x0 := engine.NewExecutor(eng, vms[0], workload.NewGUPS(3000, 600_000, 1))
-	x1 := engine.NewExecutor(eng, vms[1], workload.NewGUPS(256, 600_000, 2))
+	x0 := engine.NewExecutor(eng, vms[0], workload.Must(workload.NewGUPS(3000, 600_000, 1)))
+	x1 := engine.NewExecutor(eng, vms[1], workload.Must(workload.NewGUPS(256, 600_000, 2)))
 	engine.RunAll(eng, 10*sim.Second, x0, x1)
 	r.Stop()
 	for _, d := range doubles {

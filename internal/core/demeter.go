@@ -102,6 +102,37 @@ type Config struct {
 	RetryBackoffCap int
 }
 
+// Validate checks every invariant Attach would otherwise panic on (bad
+// PEBS parameters, a non-power-of-two channel, zero periods), so
+// config-driven callers — the serve daemon — can reject a bad Config as
+// an ordinary error before any engine or VM state is touched. Harness
+// code with compile-time-constant configs may still rely on the Attach
+// panics.
+func (c Config) Validate() error {
+	if c.EpochPeriod <= 0 {
+		return fmt.Errorf("core: epoch period must be positive, got %v", c.EpochPeriod)
+	}
+	if c.SamplePeriod == 0 {
+		return errors.New("core: sample period must be positive")
+	}
+	if c.LatencyThreshold < 0 {
+		return fmt.Errorf("core: negative latency threshold %v", c.LatencyThreshold)
+	}
+	if c.ChannelCapacity <= 0 || c.ChannelCapacity&(c.ChannelCapacity-1) != 0 {
+		return fmt.Errorf("core: channel capacity must be a positive power of two, got %d", c.ChannelCapacity)
+	}
+	if c.MigrationBatch <= 0 {
+		return fmt.Errorf("core: migration batch must be positive, got %d", c.MigrationBatch)
+	}
+	if !c.DrainAtContextSwitch && c.PollPeriod <= 0 {
+		return errors.New("core: polling drain needs a positive poll period")
+	}
+	if c.Params.GranularityPages == 0 {
+		return errors.New("core: range granularity must be at least one page")
+	}
+	return nil
+}
+
 // DefaultConfig returns the paper's configuration.
 func DefaultConfig() Config {
 	return Config{
@@ -225,8 +256,7 @@ func (d *Demeter) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 		d.prevDropped += d.ch.Dropped()
 	}
 
-	pcfg := pebs.DefaultConfig()
-	pcfg.SamplePeriod = d.Cfg.SamplePeriod
+	pcfg := pebs.ConfigWithPeriod(d.Cfg.SamplePeriod)
 	pcfg.LatencyThreshold = d.Cfg.LatencyThreshold
 	pcfg.Event = d.Cfg.Event
 	pcfg.AdaptivePeriod = d.Cfg.AdaptiveSampling

@@ -39,7 +39,7 @@ func rig(t *testing.T) (*sim.Engine, *hypervisor.VM, *engine.Executor, *workload
 	if err != nil {
 		t.Fatal(err)
 	}
-	wl := workload.NewGUPS(2048, 1_500_000, 7)
+	wl := workload.Must(workload.NewGUPS(2048, 1_500_000, 7))
 	x := engine.NewExecutor(eng, vm, wl)
 	return eng, vm, x, wl
 }

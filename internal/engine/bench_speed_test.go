@@ -19,7 +19,7 @@ func benchMachine() (*hypervisor.VM, *workload.GUPS) {
 	m := hypervisor.NewMachine(eng, mem.PaperDRAMPMEM(22000, 110000))
 	m.AttachObs(obs.New(0))
 	vm, _ := m.NewVM(hypervisor.VMConfig{VCPUs: 4, GuestFMEM: 22000, GuestSMEM: 110000, FMEMBacking: 0, SMEMBacking: 1})
-	wl := workload.NewGUPS(114688, 1<<40, 1)
+	wl := workload.Must(workload.NewGUPS(114688, 1<<40, 1))
 	wl.Setup(vm.Proc)
 	return vm, wl
 }

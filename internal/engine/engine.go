@@ -143,6 +143,20 @@ func (x *Executor) Runtime() sim.Duration {
 // FinishedAt returns the completion timestamp.
 func (x *Executor) FinishedAt() sim.Time { return x.finishedAt }
 
+// Stop halts the executor before its workload completes: the pending
+// slice becomes a no-op and no further activations are scheduled. A
+// stopped executor reports Finished with Runtime covering start → stop,
+// but OnFinish never fires (the workload did not complete). Serve-mode
+// VM removal uses this to tear an executor out of a live engine.
+func (x *Executor) Stop() {
+	if x.finished || !x.started {
+		x.finished = true
+		return
+	}
+	x.finished = true
+	x.finishedAt = x.eng.Now()
+}
+
 func (x *Executor) slice() {
 	if x.finished {
 		return

@@ -31,7 +31,7 @@ func testRig(t *testing.T, fmemFrames, smemFrames uint64) (*sim.Engine, *hypervi
 
 func TestExecutorRunsWorkloadToCompletion(t *testing.T) {
 	eng, vm := testRig(t, 256, 1024)
-	wl := workload.NewGUPS(512, 10000, 1)
+	wl := workload.Must(workload.NewGUPS(512, 10000, 1))
 	x := NewExecutor(eng, vm, wl)
 	finished := false
 	x.OnFinish = func(*Executor) { finished = true }
@@ -52,7 +52,7 @@ func TestExecutorRunsWorkloadToCompletion(t *testing.T) {
 
 func TestRuntimeBeforeFinishPanics(t *testing.T) {
 	eng, vm := testRig(t, 64, 256)
-	x := NewExecutor(eng, vm, workload.NewGUPS(128, 100, 1))
+	x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(128, 100, 1)))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Runtime before finish did not panic")
@@ -63,7 +63,7 @@ func TestRuntimeBeforeFinishPanics(t *testing.T) {
 
 func TestDoubleStartPanics(t *testing.T) {
 	eng, vm := testRig(t, 64, 256)
-	x := NewExecutor(eng, vm, workload.NewGUPS(128, 100, 1))
+	x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(128, 100, 1)))
 	x.Start()
 	defer func() {
 		if recover() == nil {
@@ -75,7 +75,7 @@ func TestDoubleStartPanics(t *testing.T) {
 
 func TestContextSwitchesFireAtQuantum(t *testing.T) {
 	eng, vm := testRig(t, 256, 1024)
-	x := NewExecutor(eng, vm, workload.NewGUPS(512, 50000, 1))
+	x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(512, 50000, 1)))
 	RunAll(eng, 100*sim.Second, x)
 	runtimeMs := float64(x.Runtime()) / float64(sim.Millisecond)
 	got := float64(vm.Kernel.Stats().CtxSwitches)
@@ -90,7 +90,7 @@ func TestStallSlowsRuntime(t *testing.T) {
 		if stallPerMs > 0 {
 			eng.StartTicker(sim.Millisecond, func(sim.Time) { vm.Stall(stallPerMs) })
 		}
-		x := NewExecutor(eng, vm, workload.NewGUPS(512, 20000, 1))
+		x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(512, 20000, 1)))
 		if !RunAll(eng, 100*sim.Second, x) {
 			t.Fatal("did not finish")
 		}
@@ -108,7 +108,7 @@ func TestStallSlowsRuntime(t *testing.T) {
 func TestSlowTierPlacementSlowsRuntime(t *testing.T) {
 	run := func(fmem uint64) sim.Duration {
 		eng, vm := testRig(t, fmem, 4096)
-		x := NewExecutor(eng, vm, workload.NewGUPS(1024, 30000, 1))
+		x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(1024, 30000, 1)))
 		if !RunAll(eng, 100*sim.Second, x) {
 			t.Fatal("did not finish")
 		}
@@ -123,7 +123,7 @@ func TestSlowTierPlacementSlowsRuntime(t *testing.T) {
 
 func TestTxnHistogramRecordsSiloTransactions(t *testing.T) {
 	eng, vm := testRig(t, 256, 1024)
-	wl := workload.NewSilo(512, 2000, 1)
+	wl := workload.Must(workload.NewSilo(512, 2000, 1))
 	x := NewExecutor(eng, vm, wl)
 	x.TxnHist = stats.NewHistogram()
 	if !RunAll(eng, 100*sim.Second, x) {
@@ -140,7 +140,7 @@ func TestTxnHistogramRecordsSiloTransactions(t *testing.T) {
 
 func TestSamplerRecordsThroughput(t *testing.T) {
 	eng, vm := testRig(t, 256, 1024)
-	x := NewExecutor(eng, vm, workload.NewGUPS(512, 50000, 1))
+	x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(512, 50000, 1)))
 	s := NewSampler(eng, x, 200*sim.Microsecond, "gups")
 	RunAll(eng, 100*sim.Second, x)
 	s.Stop()
@@ -164,7 +164,7 @@ func TestMultipleVMsProgressConcurrently(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		xs = append(xs, NewExecutor(eng, vm, workload.NewGUPS(512, 10000, uint64(i))))
+		xs = append(xs, NewExecutor(eng, vm, workload.Must(workload.NewGUPS(512, 10000, uint64(i)))))
 	}
 	if !RunAll(eng, 100*sim.Second, xs...) {
 		t.Fatal("not all VMs finished")
@@ -179,7 +179,7 @@ func TestMultipleVMsProgressConcurrently(t *testing.T) {
 func TestDeterministicRuntimes(t *testing.T) {
 	run := func() sim.Duration {
 		eng, vm := testRig(t, 256, 1024)
-		x := NewExecutor(eng, vm, workload.NewGUPS(512, 20000, 99))
+		x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(512, 20000, 99)))
 		RunAll(eng, 100*sim.Second, x)
 		return x.Runtime()
 	}
@@ -190,7 +190,7 @@ func TestDeterministicRuntimes(t *testing.T) {
 
 func TestRunAllHorizonExpires(t *testing.T) {
 	eng, vm := testRig(t, 256, 4096)
-	x := NewExecutor(eng, vm, workload.NewGUPS(1024, 10_000_000, 1))
+	x := NewExecutor(eng, vm, workload.Must(workload.NewGUPS(1024, 10_000_000, 1)))
 	if RunAll(eng, 10*sim.Millisecond, x) {
 		t.Fatal("RunAll should report failure at a tiny horizon")
 	}

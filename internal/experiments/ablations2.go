@@ -29,7 +29,7 @@ func AblationPML(s Scale) string {
 	designs := []string{"vtmm", "tpp-h", "demeter"}
 	results := runIndexed(len(designs), func(i int) ClusterResult {
 		return s.RunCluster(designs[i], 3, func(vmID int) workload.Workload {
-			return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1)
+			return workload.Must(workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1))
 		}, clusterOptions{})
 	})
 	tb := stats.NewTable("Ablation: write-tracking source (3 VMs, GUPS)",
@@ -52,7 +52,7 @@ func AblationDAMON(s Scale) string {
 	designs := []string{"damon", "demeter"}
 	results := runIndexed(len(designs), func(i int) ClusterResult {
 		return s.RunCluster(designs[i], 3, func(vmID int) workload.Workload {
-			return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1)
+			return workload.Must(workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1))
 		}, clusterOptions{})
 	})
 	tb := stats.NewTable("Ablation: guest-side classification scheme (3 VMs, GUPS)",
@@ -91,7 +91,7 @@ func AblationGranularity(s Scale) string {
 		sg := s
 		sg.Granularity = grans[i]
 		return sg.RunCluster("demeter", 3, func(vmID int) workload.Workload {
-			return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1)
+			return workload.Must(workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1))
 		}, clusterOptions{})
 	})
 	tb := stats.NewTable("Ablation: split granularity (3 VMs, GUPS)",

@@ -228,21 +228,21 @@ func (s Scale) NewApp(app string, seed uint64) workload.Workload {
 	f, ops := s.AppFootprint, s.AppOps
 	switch app {
 	case "gups":
-		return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, seed)
+		return workload.Must(workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, seed))
 	case "btree":
-		return workload.NewBTree(f*63/64, ops/4, seed)
+		return workload.Must(workload.NewBTree(f*63/64, ops/4, seed))
 	case "silo":
-		return workload.NewSilo(f, ops/8, seed)
+		return workload.Must(workload.NewSilo(f, ops/8, seed))
 	case "bwaves":
-		return workload.NewBwaves(f/3, ops, seed)
+		return workload.Must(workload.NewBwaves(f/3, ops, seed))
 	case "xsbench":
-		return workload.NewXSBench(f*20/21, ops/5, seed)
+		return workload.Must(workload.NewXSBench(f*20/21, ops/5, seed))
 	case "graph500":
-		return workload.NewGraph500(f/5, ops/4, seed)
+		return workload.Must(workload.NewGraph500(f/5, ops/4, seed))
 	case "pagerank":
-		return workload.NewPageRank(f, ops/3, seed)
+		return workload.Must(workload.NewPageRank(f, ops/3, seed))
 	case "liblinear":
-		return workload.NewLibLinear(f*50/51, ops, seed)
+		return workload.Must(workload.NewLibLinear(f*50/51, ops, seed))
 	default:
 		panic(fmt.Sprintf("experiments: unknown app %q", app))
 	}
@@ -453,7 +453,7 @@ func (s Scale) gupsSplit(nVMs int) func(int) workload.Workload {
 	fp := s.GUPSFootprint * uint64(s.VMs) / uint64(nVMs)
 	ops := s.GUPSOps * uint64(s.VMs) / uint64(nVMs)
 	return func(vmID int) workload.Workload {
-		return workload.NewGUPS(fp, ops, uint64(vmID)+1)
+		return workload.Must(workload.NewGUPS(fp, ops, uint64(vmID)+1))
 	}
 }
 

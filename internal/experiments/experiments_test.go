@@ -98,7 +98,7 @@ func TestTable1Shape(t *testing.T) {
 		big := s
 		big.VMFMEM, big.VMSMEM = fmem, footprint
 		r := big.RunCluster(design, 1, func(int) workload.Workload {
-			return workload.NewGUPS(footprint, s.GUPSOps*2, 1)
+			return workload.Must(workload.NewGUPS(footprint, s.GUPSOps*2, 1))
 		}, clusterOptions{})
 		results[design] = res{r.TLB.SingleFlushes, r.TLB.FullFlushes, r.Runtimes[0].Seconds()}
 	}

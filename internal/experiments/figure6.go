@@ -120,7 +120,7 @@ func runProvisioned(s Scale, scheme provisionScheme) float64 {
 	var xs []*engine.Executor
 	var policies []Policy
 	for i, vm := range vms {
-		x := engine.NewExecutor(eng, vm, workload.NewGUPS(fp, ops, uint64(i)+1))
+		x := engine.NewExecutor(eng, vm, workload.Must(workload.NewGUPS(fp, ops, uint64(i)+1)))
 		pol := s.NewPolicy(scheme.design)
 		pol.Attach(eng, vm)
 		policies = append(policies, pol)

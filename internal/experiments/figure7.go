@@ -28,7 +28,7 @@ func runGUPSNine(s Scale, design string, sampleEvery int64) ClusterResult {
 		opt.sampleEvery = s.EpochPeriod
 	}
 	return s.RunCluster(design, s.VMs, func(vmID int) workload.Workload {
-		return workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1)
+		return workload.Must(workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(vmID)+1))
 	}, opt)
 }
 

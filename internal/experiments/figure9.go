@@ -40,7 +40,7 @@ func runDemeterWith(s Scale, nVMs int, cfg core.Config) float64 {
 		if err != nil {
 			panic(err)
 		}
-		x := engine.NewExecutor(eng, vm, workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(i)+1))
+		x := engine.NewExecutor(eng, vm, workload.Must(workload.NewGUPS(s.GUPSFootprint, s.GUPSOps, uint64(i)+1)))
 		d := core.New(cfg)
 		d.Attach(eng, vm)
 		ds = append(ds, d)

@@ -33,7 +33,7 @@ func Table1(s Scale) string {
 		big := s
 		big.VMFMEM, big.VMSMEM = fmem, smem
 		return big.RunCluster(designs[i], 1, func(int) workload.Workload {
-			return workload.NewGUPS(footprint, ops, 1)
+			return workload.Must(workload.NewGUPS(footprint, ops, 1))
 		}, clusterOptions{})
 	})
 

@@ -35,7 +35,7 @@ func newStack(t *testing.T, inj *fault.Injector) (*sim.Engine, *hypervisor.VM, *
 	if err != nil {
 		t.Fatalf("NewVM: %v", err)
 	}
-	wl := workload.NewGUPS(1024, 1, 1)
+	wl := workload.Must(workload.NewGUPS(1024, 1, 1))
 	wl.Setup(vm.Proc)
 	cfg := core.DefaultConfig()
 	cfg.EpochPeriod = epoch

@@ -43,16 +43,16 @@ func diffVM(t *testing.T, pcfg pebs.Config, faultSeed uint64) *VM {
 // footprint that fits the 384-frame test guest.
 func diffWorkloads() map[string]func() workload.Workload {
 	return map[string]func() workload.Workload{
-		"gups":      func() workload.Workload { return workload.NewGUPS(300, 4000, 7) },
-		"btree":     func() workload.Workload { return workload.NewBTree(280, 3000, 7) },
-		"xsbench":   func() workload.Workload { return workload.NewXSBench(300, 3000, 7) },
-		"liblinear": func() workload.Workload { return workload.NewLibLinear(300, 3000, 7) },
-		"bwaves":    func() workload.Workload { return workload.NewBwaves(100, 3000, 7) },
-		"silo":      func() workload.Workload { return workload.NewSilo(300, 400, 7) },
-		"graph500":  func() workload.Workload { return workload.NewGraph500(64, 3000, 7) },
-		"pagerank":  func() workload.Workload { return workload.NewPageRank(300, 1000, 7) },
-		"ycsb-a":    func() workload.Workload { return workload.NewYCSB(280, 1500, 7, workload.YCSBA) },
-		"ycsb-e":    func() workload.Workload { return workload.NewYCSB(280, 400, 7, workload.YCSBE) },
+		"gups":      func() workload.Workload { return workload.Must(workload.NewGUPS(300, 4000, 7)) },
+		"btree":     func() workload.Workload { return workload.Must(workload.NewBTree(280, 3000, 7)) },
+		"xsbench":   func() workload.Workload { return workload.Must(workload.NewXSBench(300, 3000, 7)) },
+		"liblinear": func() workload.Workload { return workload.Must(workload.NewLibLinear(300, 3000, 7)) },
+		"bwaves":    func() workload.Workload { return workload.Must(workload.NewBwaves(100, 3000, 7)) },
+		"silo":      func() workload.Workload { return workload.Must(workload.NewSilo(300, 400, 7)) },
+		"graph500":  func() workload.Workload { return workload.Must(workload.NewGraph500(64, 3000, 7)) },
+		"pagerank":  func() workload.Workload { return workload.Must(workload.NewPageRank(300, 1000, 7)) },
+		"ycsb-a":    func() workload.Workload { return workload.Must(workload.NewYCSB(280, 1500, 7, workload.YCSBA)) },
+		"ycsb-e":    func() workload.Workload { return workload.Must(workload.NewYCSB(280, 400, 7, workload.YCSBE)) },
 	}
 }
 

@@ -229,6 +229,20 @@ func sortMetrics(ms []Metric) {
 	})
 }
 
+// Matching returns every metric with the given name, preserving the
+// snapshot's deterministic (Name, Labels, Kind) order. Table renderers
+// (the serve daemon's dump commands) use it to pull one instrument
+// family out of a full snapshot.
+func (s Snapshot) Matching(name string) []Metric {
+	var out []Metric
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // merge folds two snapshots: metrics with identical (name, labels, kind)
 // sum their values; histograms merge bucket-wise via their retained
 // clones. Inputs are never mutated.

@@ -63,6 +63,15 @@ func (e Event) String() string {
 	}
 }
 
+// ConfigWithPeriod is DefaultConfig with the sample period replaced —
+// the first adjustment every consumer (core.Demeter, tmm.Memtis, the
+// track package) makes, so they share one construction path.
+func ConfigWithPeriod(period uint64) Config {
+	c := DefaultConfig()
+	c.SamplePeriod = period
+	return c
+}
+
 // Sample is one PEBS record as the guest sees it.
 type Sample struct {
 	GVPN    uint64       // guest virtual page number of the load

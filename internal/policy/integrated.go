@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"fmt"
+
+	"demeter/internal/core"
+	"demeter/internal/damon"
+	"demeter/internal/hypervisor"
+	"demeter/internal/sim"
+	"demeter/internal/tmm"
+	"demeter/internal/track"
+)
+
+// integrated adapts the designs that bundle their own tracking —
+// internal/tmm's five baselines, core.Demeter and the DAMON-based
+// policy — to the tracker × policy interface. The tracker argument is
+// ignored: these designs ARE a tracker+policy pairing fused by
+// construction, which is exactly the coupling this package exists to
+// contrast with.
+type integrated struct {
+	inner  tmm.Policy
+	active bool
+}
+
+// newIntegrated maps the generic policy Config onto each design's own
+// knobs (Period → its dominant cadence, MigrationBatch → its batch) and
+// validates everything that the designs' Attach methods would otherwise
+// panic on, keeping the config path panic-free.
+func newIntegrated(cfg Config) (Policy, error) {
+	var inner tmm.Policy
+	switch cfg.Kind {
+	case "static":
+		inner = tmm.NewStatic()
+	case "tpp":
+		c := tmm.DefaultTPPConfig()
+		if cfg.Period != 0 {
+			c.ScanPeriod = cfg.Period
+		}
+		if cfg.MigrationBatch != defaultMigrationCap {
+			c.MigrationBatch = cfg.MigrationBatch
+		}
+		inner = tmm.NewTPP(c)
+	case "tpph":
+		c := tmm.DefaultTPPHConfig()
+		if cfg.Period != 0 {
+			c.ScanPeriod = cfg.Period
+		}
+		if cfg.MigrationBatch != defaultMigrationCap {
+			c.MigrationBatch = cfg.MigrationBatch
+		}
+		inner = tmm.NewTPPH(c)
+	case "memtis":
+		c := tmm.DefaultMemtisConfig()
+		if cfg.Period != 0 {
+			c.ClassifyPeriod = cfg.Period
+			c.PollPeriod = cfg.Period / 10
+			if c.PollPeriod <= 0 {
+				c.PollPeriod = 1
+			}
+		}
+		if cfg.MigrationBatch != defaultMigrationCap {
+			c.MigrationBatch = cfg.MigrationBatch
+		}
+		if cfg.HotThreshold != 0 {
+			if cfg.HotThreshold < 0 {
+				return nil, fmt.Errorf("policy: negative hot threshold %v", cfg.HotThreshold)
+			}
+			c.HotThreshold = cfg.HotThreshold
+		}
+		inner = tmm.NewMemtis(c)
+	case "nomad":
+		c := tmm.DefaultNomadConfig()
+		if cfg.Period != 0 {
+			c.ScanPeriod = cfg.Period
+		}
+		if cfg.MigrationBatch != defaultMigrationCap {
+			c.MigrationBatch = cfg.MigrationBatch
+		}
+		inner = tmm.NewNomad(c)
+	case "vtmm":
+		c := tmm.DefaultVTMMConfig()
+		if cfg.Period != 0 {
+			c.SortPeriod = cfg.Period
+		}
+		if cfg.MigrationBatch != defaultMigrationCap {
+			c.MigrationBatch = cfg.MigrationBatch
+		}
+		inner = tmm.NewVTMM(c)
+	case "demeter":
+		c := core.DefaultConfig()
+		if cfg.Period != 0 {
+			c.EpochPeriod = cfg.Period
+		}
+		if cfg.MigrationBatch != defaultMigrationCap {
+			c.MigrationBatch = cfg.MigrationBatch
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		inner = core.New(c)
+	case "damon":
+		dcfg := damon.DefaultConfig()
+		if cfg.Period != 0 {
+			dcfg.AggregationInterval = cfg.Period
+			dcfg.SamplingInterval = cfg.Period / 20
+			if dcfg.SamplingInterval <= 0 {
+				dcfg.SamplingInterval = 1
+			}
+		}
+		hotBar := uint32(defaultHotThreshold)
+		if cfg.HotThreshold > 0 {
+			hotBar = uint32(cfg.HotThreshold)
+		}
+		p, err := damon.NewPolicy(dcfg, hotBar, cfg.MigrationBatch)
+		if err != nil {
+			return nil, fmt.Errorf("policy: damon: %w", err)
+		}
+		inner = p
+	default:
+		return nil, fmt.Errorf("policy: unknown integrated kind %q", cfg.Kind)
+	}
+	return &integrated{inner: inner}, nil
+}
+
+func (a *integrated) Name() string { return a.inner.Name() }
+
+func (a *integrated) Attach(eng *sim.Engine, vm *hypervisor.VM, _ track.Tracker) error {
+	if a.active {
+		return fmt.Errorf("policy: %s already attached", a.inner.Name())
+	}
+	a.active = true
+	a.inner.Attach(eng, vm)
+	return nil
+}
+
+func (a *integrated) Detach() {
+	if !a.active {
+		return
+	}
+	a.active = false
+	a.inner.Detach()
+}

@@ -1,0 +1,247 @@
+// Package policy extracts page-placement policies behind one interface,
+// orthogonal to the access trackers in internal/track. A tracker-driven
+// policy never does its own tracking: each round it reads the tracker's
+// Counters and decides which guest pages belong on which tier, so any
+// tracker pairs with any policy purely through configuration:
+//
+//   - heat: memtierd-style heat classes — pages bucket by log2 of their
+//     access estimate; the top class is promoted, class zero demoted.
+//   - age: memtierd's idle-age rule — pages seen within ActiveWithin
+//     are promoted, pages idle beyond IdleAfter demoted.
+//   - threshold: Memtis-style static hot threshold (§3.2.1's criticized
+//     baseline, useful as the comparison point).
+//   - ranked: capacity-adaptive ranking in the spirit of Demeter's
+//     classifier — sort by score, fill FMEM from the top, swap when
+//     full (§3.2.3's balanced relocation).
+//
+// The five integrated designs (static, tpp, tpph, memtis, nomad, vtmm,
+// demeter, damon) are also exposed through the same interface via an
+// adapter that ignores the tracker — they bundle their own tracking —
+// so a serve config selects any of them with the same `policy` stanza.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"demeter/internal/hypervisor"
+	"demeter/internal/sim"
+	"demeter/internal/tmm"
+	"demeter/internal/track"
+)
+
+// Policy decides placement for one VM from one tracker's counters.
+type Policy interface {
+	// Name identifies the policy in harness output and config files.
+	Name() string
+	// Attach starts the policy against a live VM and its tracker. The
+	// integrated designs ignore tr. Config-driven policies return
+	// errors, never panic.
+	Attach(eng *sim.Engine, vm *hypervisor.VM, tr track.Tracker) error
+	// Detach stops all policy activity. Safe to call when detached.
+	Detach()
+}
+
+// Config selects and tunes a policy; zero fields take kind defaults.
+type Config struct {
+	// Kind is one of the tracker-driven kinds ("heat", "age",
+	// "threshold", "ranked") or an integrated design ("static",
+	// "demeter", "tpp", "tpph", "memtis", "nomad", "vtmm", "damon").
+	Kind string `json:"kind"`
+	// Period is the classify-and-migrate cadence (tracker-driven kinds).
+	Period sim.Duration `json:"period"`
+	// MigrationBatch caps page moves per round.
+	MigrationBatch int `json:"migration_batch"`
+	// HotThreshold is the access estimate classifying a page hot
+	// (threshold kind).
+	HotThreshold float64 `json:"hot_threshold"`
+	// ActiveWithin promotes pages seen at most this long ago (age kind).
+	ActiveWithin sim.Duration `json:"active_within"`
+	// IdleAfter demotes pages idle at least this long (age kind).
+	IdleAfter sim.Duration `json:"idle_after"`
+}
+
+// Kinds lists the selectable policy kinds in deterministic order.
+func Kinds() []string {
+	return []string{
+		"age", "damon", "demeter", "heat", "memtis", "nomad",
+		"ranked", "static", "threshold", "tpp", "tpph", "vtmm",
+	}
+}
+
+// TrackerDriven reports whether kind consumes a tracker's counters (as
+// opposed to the integrated designs that bundle their own tracking).
+func TrackerDriven(kind string) bool {
+	switch kind {
+	case "heat", "age", "threshold", "ranked":
+		return true
+	}
+	return false
+}
+
+const (
+	defaultPolicyPeriod  = 100 * sim.Millisecond
+	defaultMigrationCap  = 512
+	defaultHotThreshold  = 4
+	defaultActiveWithin  = 200 * sim.Millisecond
+	defaultIdleAfterMult = 10
+)
+
+// New builds a detached policy from configuration. All validation
+// happens here — nothing on this path panics.
+func New(cfg Config) (Policy, error) {
+	if cfg.Period < 0 {
+		return nil, fmt.Errorf("policy: negative period %v", cfg.Period)
+	}
+	if cfg.MigrationBatch < 0 {
+		return nil, fmt.Errorf("policy: negative migration batch %d", cfg.MigrationBatch)
+	}
+	if cfg.Period == 0 {
+		cfg.Period = defaultPolicyPeriod
+	}
+	if cfg.MigrationBatch == 0 {
+		cfg.MigrationBatch = defaultMigrationCap
+	}
+	switch cfg.Kind {
+	case "heat":
+		return &heatPolicy{tickPolicy: newTickPolicy(cfg)}, nil
+	case "age":
+		if cfg.ActiveWithin == 0 {
+			cfg.ActiveWithin = defaultActiveWithin
+		}
+		if cfg.IdleAfter == 0 {
+			cfg.IdleAfter = cfg.ActiveWithin * defaultIdleAfterMult
+		}
+		if cfg.IdleAfter < cfg.ActiveWithin {
+			return nil, fmt.Errorf("policy: idle_after %v below active_within %v", cfg.IdleAfter, cfg.ActiveWithin)
+		}
+		return &agePolicy{tickPolicy: newTickPolicy(cfg)}, nil
+	case "threshold":
+		if cfg.HotThreshold == 0 {
+			cfg.HotThreshold = defaultHotThreshold
+		}
+		if cfg.HotThreshold < 0 {
+			return nil, fmt.Errorf("policy: negative hot threshold %v", cfg.HotThreshold)
+		}
+		return &thresholdPolicy{tickPolicy: newTickPolicy(cfg)}, nil
+	case "ranked":
+		return &rankedPolicy{tickPolicy: newTickPolicy(cfg)}, nil
+	case "static", "demeter", "tpp", "tpph", "memtis", "nomad", "vtmm", "damon":
+		return newIntegrated(cfg)
+	default:
+		return nil, fmt.Errorf("policy: unknown policy kind %q (want one of %v)", cfg.Kind, Kinds())
+	}
+}
+
+// tickPolicy is the shared skeleton of the tracker-driven policies: a
+// ticker at Period calling the concrete round function.
+type tickPolicy struct {
+	cfg    Config
+	eng    *sim.Engine
+	vm     *hypervisor.VM
+	tr     track.Tracker
+	ticker *sim.Ticker
+	active bool
+}
+
+func newTickPolicy(cfg Config) tickPolicy { return tickPolicy{cfg: cfg} }
+
+func (p *tickPolicy) attach(eng *sim.Engine, vm *hypervisor.VM, tr track.Tracker, name string, round func()) error {
+	if p.active {
+		return fmt.Errorf("policy: %s already attached", name)
+	}
+	if tr == nil {
+		return fmt.Errorf("policy: %s needs a tracker", name)
+	}
+	p.eng, p.vm, p.tr, p.active = eng, vm, tr, true
+	p.ticker = eng.StartTicker(p.cfg.Period, func(sim.Time) {
+		if p.active {
+			round()
+		}
+	})
+	return nil
+}
+
+func (p *tickPolicy) Detach() {
+	if !p.active {
+		return
+	}
+	p.active = false
+	p.ticker.Stop()
+}
+
+// residentNode returns the guest NUMA node currently backing gvpn, or
+// ok=false for an unmapped page.
+func (p *tickPolicy) residentNode(gvpn uint64) (node int, ok bool) {
+	gpfn, ok := p.vm.Proc.Translate(gvpn)
+	if !ok {
+		return 0, false
+	}
+	return p.vm.Kernel.NodeOfGPFN(gpfn), true
+}
+
+// chargeClassify books the per-round classification cost: one PTE-op
+// per counter examined, like the integrated designs.
+func (p *tickPolicy) chargeClassify(counters int) {
+	p.vm.ChargeGuest(tmm.CompClassify, sim.Duration(counters)*p.vm.Machine.Cost.PTEOpCost)
+}
+
+// migrate moves the listed pages to node, bounded by the batch cap,
+// charging migration CPU. It returns how many moves succeeded.
+func (p *tickPolicy) migrate(gvpns []uint64, node int, budget int) int {
+	var cost sim.Duration
+	moved := 0
+	for _, gvpn := range gvpns {
+		if moved >= budget {
+			break
+		}
+		c, err := p.vm.MigrateGuestPage(gvpn, node)
+		cost += c
+		if err == nil {
+			moved++
+		}
+	}
+	p.vm.ChargeGuest(tmm.CompMigrate, cost)
+	return moved
+}
+
+// pageScore is one expanded, scored page used by the round functions.
+type pageScore struct {
+	gvpn  uint64
+	score float64
+	seen  sim.Time
+}
+
+// expandPages flattens region counters into per-page scores, bounded by
+// cap pages (region trackers can cover the whole footprint; policies
+// only ever act on a bounded set per round).
+func expandPages(counters []track.Counter, limit int) []pageScore {
+	out := make([]pageScore, 0, min(limit, 4096))
+	for _, c := range counters {
+		perPage := c.Accesses
+		if n := c.Pages(); n > 1 {
+			perPage = c.Accesses / float64(n)
+		}
+		for gvpn := c.StartGVPN; gvpn < c.EndGVPN; gvpn++ {
+			if len(out) >= limit {
+				return out
+			}
+			out = append(out, pageScore{gvpn: gvpn, score: perPage, seen: c.LastSeen})
+		}
+	}
+	return out
+}
+
+// sortByScoreDesc orders pages hottest-first with full determinism:
+// score, then recency, then address.
+func sortByScoreDesc(ps []pageScore) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].score != ps[j].score {
+			return ps[i].score > ps[j].score
+		}
+		if ps[i].seen != ps[j].seen {
+			return ps[i].seen > ps[j].seen
+		}
+		return ps[i].gvpn < ps[j].gvpn
+	})
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// TestBackoffDelayProperty sweeps (Base, Max, attempt) — including the
+// uncapped Max == 0 configuration — and checks the properties every
+// retry path relies on: the delay is never negative, never exceeds a
+// positive Max, is monotonically non-decreasing in the attempt number,
+// and matches Base<<n exactly while that product is representable.
+func TestBackoffDelayProperty(t *testing.T) {
+	bases := []Duration{0, 1, 3, Microsecond, Millisecond, Second, 1 << 40, 1<<62 + 1}
+	maxes := []Duration{0, 1, Microsecond, 5 * Millisecond, Second, 1 << 61}
+	attempts := []int{-5, -1, 0, 1, 2, 3, 10, 31, 62, 63, 64, 100, 1_000, 1 << 20}
+
+	for _, base := range bases {
+		for _, max := range maxes {
+			b := Backoff{Base: base, Max: max}
+			prev := Duration(-1)
+			for _, n := range attempts {
+				d := b.Delay(n)
+				if d < 0 {
+					t.Fatalf("Backoff{Base:%d,Max:%d}.Delay(%d) = %d, negative", base, max, n, d)
+				}
+				if max > 0 && d > max {
+					t.Fatalf("Backoff{Base:%d,Max:%d}.Delay(%d) = %d exceeds Max", base, max, n, d)
+				}
+				// attempts is ascending past the negative entries, and
+				// negative attempts clamp to 0, so delays must not shrink.
+				if d < prev {
+					t.Fatalf("Backoff{Base:%d,Max:%d}: Delay(%d)=%d shrank below earlier delay %d", base, max, n, d, prev)
+				}
+				prev = d
+				// Exact value check while Base<<n cannot overflow.
+				if base > 0 && n >= 0 && n < 62 {
+					want := base << uint(n)
+					overflowed := want>>uint(n) != base || want < 0
+					if !overflowed {
+						if max > 0 && want > max {
+							want = max
+						}
+						if d != want {
+							t.Fatalf("Backoff{Base:%d,Max:%d}.Delay(%d) = %d, want %d", base, max, n, d, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffDelayUncappedClamps pins the Max == 0 overflow clamp: huge
+// attempt counts saturate at the last value that doubled without
+// wrapping, instead of going negative.
+func TestBackoffDelayUncappedClamps(t *testing.T) {
+	b := Backoff{Base: Second}
+	big := b.Delay(1 << 30)
+	if big <= 0 {
+		t.Fatalf("uncapped Delay(1<<30) = %d, want positive clamp", big)
+	}
+	if next := b.Delay(1<<30 + 1); next != big {
+		t.Fatalf("clamped delay not stable: %d then %d", big, next)
+	}
+	// The clamp is the last representable doubling of Base.
+	var want Duration = Second
+	for {
+		n := want * 2
+		if n <= want {
+			break
+		}
+		want = n
+	}
+	if big != want {
+		t.Fatalf("clamp = %d, want last representable doubling %d", big, want)
+	}
+}

@@ -212,14 +212,25 @@ type Backoff struct {
 }
 
 // Delay returns the wait before retry attempt n (0-based): Base<<n,
-// capped at Max (and guarded against shift overflow).
+// capped at Max. With Max == 0 the schedule is uncapped by policy but
+// still clamps at the last value that doubles without overflowing, so
+// the result is never negative regardless of attempt count.
 func (b Backoff) Delay(attempt int) Duration {
 	if attempt < 0 {
 		attempt = 0
 	}
+	if b.Base <= 0 {
+		return 0
+	}
 	d := b.Base
 	for i := 0; i < attempt; i++ {
-		d *= 2
+		next := d * 2
+		if next <= d {
+			// Doubling a positive Duration only fails to grow on int64
+			// overflow; keep the last representable value.
+			break
+		}
+		d = next
 		if b.Max > 0 && d >= b.Max {
 			return b.Max
 		}

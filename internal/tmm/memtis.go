@@ -93,9 +93,7 @@ func (p *Memtis) Attach(eng *sim.Engine, vm *hypervisor.VM) {
 	p.eng, p.vm, p.active = eng, vm, true
 	p.hist = make(map[uint64]float64)
 
-	pcfg := pebs.DefaultConfig()
-	pcfg.SamplePeriod = p.Cfg.SamplePeriod
-	unit, err := pebs.NewUnit(pcfg)
+	unit, err := pebs.NewUnit(pebs.ConfigWithPeriod(p.Cfg.SamplePeriod))
 	if err != nil {
 		panic(fmt.Sprintf("tmm: bad Memtis PEBS config: %v", err))
 	}

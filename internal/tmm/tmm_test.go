@@ -22,7 +22,7 @@ func rig(t *testing.T, fmem, smem, footprint, ops uint64) (*sim.Engine, *hypervi
 	if err != nil {
 		t.Fatal(err)
 	}
-	wl := workload.NewGUPS(footprint, ops, 7)
+	wl := workload.Must(workload.NewGUPS(footprint, ops, 7))
 	x := engine.NewExecutor(eng, vm, wl)
 	return eng, vm, x, wl
 }

@@ -52,11 +52,11 @@ func drainAll(t *testing.T, w workload.Workload) []workload.Access {
 func TestRoundTripExact(t *testing.T) {
 	// Record one GUPS instance, drain an identical one, compare streams.
 	var buf bytes.Buffer
-	count, err := Record(&buf, workload.NewGUPS(512, 20_000, 3), newFakeAS())
+	count, err := Record(&buf, workload.Must(workload.NewGUPS(512, 20_000, 3)), newFakeAS())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := workload.NewGUPS(512, 20_000, 3)
+	ref := workload.Must(workload.NewGUPS(512, 20_000, 3))
 	ref.Setup(newFakeAS())
 	want := drainAll(t, ref)
 	if count != uint64(len(want)) {
@@ -85,7 +85,7 @@ func TestRoundTripExact(t *testing.T) {
 
 func TestCompactness(t *testing.T) {
 	var buf bytes.Buffer
-	count, err := Record(&buf, workload.NewSilo(1024, 5_000, 1), newFakeAS())
+	count, err := Record(&buf, workload.Must(workload.NewSilo(1024, 5_000, 1)), newFakeAS())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestCompactness(t *testing.T) {
 
 func TestReplayerInterfaceBookkeeping(t *testing.T) {
 	var buf bytes.Buffer
-	wl := workload.NewGUPS(256, 1000, 9)
+	wl := workload.Must(workload.NewGUPS(256, 1000, 9))
 	count, err := Record(&buf, wl, newFakeAS())
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestReplayerInterfaceBookkeeping(t *testing.T) {
 
 func TestReplayDivergentLayoutPanics(t *testing.T) {
 	var buf bytes.Buffer
-	count, _ := Record(&buf, workload.NewGUPS(256, 100, 1), newFakeAS())
+	count, _ := Record(&buf, workload.Must(workload.NewGUPS(256, 100, 1)), newFakeAS())
 	rp, err := NewReplayer("r", &buf, count, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +144,7 @@ func TestBadHeaderRejected(t *testing.T) {
 
 func TestFillBeforeSetupPanics(t *testing.T) {
 	var buf bytes.Buffer
-	count, _ := Record(&buf, workload.NewGUPS(256, 100, 1), newFakeAS())
+	count, _ := Record(&buf, workload.Must(workload.NewGUPS(256, 100, 1)), newFakeAS())
 	rp, _ := NewReplayer("r", &buf, count, 0)
 	defer func() {
 		if recover() == nil {
@@ -181,10 +181,10 @@ func TestReplayMatchesLiveRunExactly(t *testing.T) {
 		return x.Runtime()
 	}
 
-	live := runOnce(workload.NewGUPS(1024, 100_000, 5))
+	live := runOnce(workload.Must(workload.NewGUPS(1024, 100_000, 5)))
 
 	var buf bytes.Buffer
-	orig := workload.NewGUPS(1024, 100_000, 5)
+	orig := workload.Must(workload.NewGUPS(1024, 100_000, 5))
 	count, err := Record(&buf, orig, newFakeAS())
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestReplayMatchesLiveRunExactly(t *testing.T) {
 func TestCorruptInputs(t *testing.T) {
 	// A known-good trace to corrupt.
 	var good bytes.Buffer
-	count, err := Record(&good, workload.NewGUPS(256, 5_000, 2), newFakeAS())
+	count, err := Record(&good, workload.Must(workload.NewGUPS(256, 5_000, 2)), newFakeAS())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"demeter/internal/simrand"
 )
 
@@ -29,11 +31,11 @@ type levelLayout struct {
 }
 
 // NewBTree returns a btree workload of the given leaf size.
-func NewBTree(leafPages, ops, seed uint64) *BTree {
+func NewBTree(leafPages, ops, seed uint64) (*BTree, error) {
 	if leafPages < 2 {
-		panic("btree: leaf level too small")
+		return nil, fmt.Errorf("btree: leaf level of %d pages too small (want >= 2)", leafPages)
 	}
-	return &BTree{LeafPages: leafPages, Fanout: 64, Ops: ops, Seed: seed}
+	return &BTree{LeafPages: leafPages, Fanout: 64, Ops: ops, Seed: seed}, nil
 }
 
 // Name implements Workload.
@@ -117,15 +119,15 @@ type XSBench struct {
 }
 
 // NewXSBench sizes the workload; the index is the hot set (~5% of data).
-func NewXSBench(dataPages, ops, seed uint64) *XSBench {
+func NewXSBench(dataPages, ops, seed uint64) (*XSBench, error) {
 	if dataPages < 64 {
-		panic("xsbench: data region too small")
+		return nil, fmt.Errorf("xsbench: data region of %d pages too small (want >= 64)", dataPages)
 	}
 	idx := dataPages / 20
 	if idx == 0 {
 		idx = 1
 	}
-	return &XSBench{IndexPages: idx, DataPages: dataPages, Ops: ops, Seed: seed}
+	return &XSBench{IndexPages: idx, DataPages: dataPages, Ops: ops, Seed: seed}, nil
 }
 
 // Name implements Workload.
@@ -202,15 +204,15 @@ type LibLinear struct {
 }
 
 // NewLibLinear sizes the workload; weights are ~2% of features.
-func NewLibLinear(featurePages, ops, seed uint64) *LibLinear {
+func NewLibLinear(featurePages, ops, seed uint64) (*LibLinear, error) {
 	if featurePages < 64 {
-		panic("liblinear: feature region too small")
+		return nil, fmt.Errorf("liblinear: feature region of %d pages too small (want >= 64)", featurePages)
 	}
 	w := featurePages / 50
 	if w == 0 {
 		w = 1
 	}
-	return &LibLinear{FeaturePages: featurePages, WeightPages: w, Ops: ops, Seed: seed}
+	return &LibLinear{FeaturePages: featurePages, WeightPages: w, Ops: ops, Seed: seed}, nil
 }
 
 // Name implements Workload.
@@ -267,11 +269,11 @@ type Bwaves struct {
 }
 
 // NewBwaves sizes the solver grids.
-func NewBwaves(arrayPages, ops, seed uint64) *Bwaves {
+func NewBwaves(arrayPages, ops, seed uint64) (*Bwaves, error) {
 	if arrayPages < 16 {
-		panic("bwaves: arrays too small")
+		return nil, fmt.Errorf("bwaves: arrays of %d pages too small (want >= 16)", arrayPages)
 	}
-	return &Bwaves{ArrayPages: arrayPages, Arrays: 3, Ops: ops, Seed: seed}
+	return &Bwaves{ArrayPages: arrayPages, Arrays: 3, Ops: ops, Seed: seed}, nil
 }
 
 // Name implements Workload.
@@ -326,9 +328,9 @@ type Silo struct {
 
 // NewSilo sizes the OLTP table; the hot window is ~8% of it and drifts a
 // quarter-window at a time.
-func NewSilo(tablePages, ops, seed uint64) *Silo {
+func NewSilo(tablePages, ops, seed uint64) (*Silo, error) {
 	if tablePages < 128 {
-		panic("silo: table too small")
+		return nil, fmt.Errorf("silo: table of %d pages too small (want >= 128)", tablePages)
 	}
 	hot := tablePages / 12
 	if hot == 0 {
@@ -340,7 +342,7 @@ func NewSilo(tablePages, ops, seed uint64) *Silo {
 		ShiftEvery: ops / 20,
 		Ops:        ops,
 		Seed:       seed,
-	}
+	}, nil
 }
 
 // Name implements Workload.
@@ -423,11 +425,11 @@ type Graph500 struct {
 }
 
 // NewGraph500 sizes the graph; edges take 4x the vertex space.
-func NewGraph500(vertexPages, ops, seed uint64) *Graph500 {
+func NewGraph500(vertexPages, ops, seed uint64) (*Graph500, error) {
 	if vertexPages < 64 {
-		panic("graph500: vertex region too small")
+		return nil, fmt.Errorf("graph500: vertex region of %d pages too small (want >= 64)", vertexPages)
 	}
-	return &Graph500{VertexPages: vertexPages, EdgePages: vertexPages * 4, Ops: ops, Seed: seed}
+	return &Graph500{VertexPages: vertexPages, EdgePages: vertexPages * 4, Ops: ops, Seed: seed}, nil
 }
 
 // Name implements Workload.
@@ -505,11 +507,11 @@ type PageRank struct {
 }
 
 // NewPageRank sizes the rank vectors.
-func NewPageRank(rankPages, ops, seed uint64) *PageRank {
+func NewPageRank(rankPages, ops, seed uint64) (*PageRank, error) {
 	if rankPages < 64 {
-		panic("pagerank: rank region too small")
+		return nil, fmt.Errorf("pagerank: rank region of %d pages too small (want >= 64)", rankPages)
 	}
-	return &PageRank{RankPages: rankPages, Ops: ops, Seed: seed}
+	return &PageRank{RankPages: rankPages, Ops: ops, Seed: seed}, nil
 }
 
 // Name implements Workload.

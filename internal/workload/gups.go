@@ -36,9 +36,9 @@ type GUPS struct {
 }
 
 // NewGUPS validates and returns a GUPS workload.
-func NewGUPS(footprintPages, ops, seed uint64) *GUPS {
+func NewGUPS(footprintPages, ops, seed uint64) (*GUPS, error) {
 	if footprintPages < 16 {
-		panic(fmt.Sprintf("gups: footprint %d too small", footprintPages))
+		return nil, fmt.Errorf("gups: footprint of %d pages too small (want >= 16)", footprintPages)
 	}
 	return &GUPS{
 		FootprintPages: footprintPages,
@@ -46,7 +46,7 @@ func NewGUPS(footprintPages, ops, seed uint64) *GUPS {
 		HotWeight:      10,
 		Ops:            ops,
 		Seed:           seed,
-	}
+	}, nil
 }
 
 // Name implements Workload.

@@ -42,8 +42,13 @@ type Workload interface {
 	// Fill.
 	Setup(as AddressSpace)
 	// Fill writes up to len(dst) accesses and returns how many were
-	// produced and whether the workload is complete. Fill never returns
-	// (0, false).
+	// produced and whether the workload is complete. Workloads emit
+	// multi-access groups (transactions, lookups) atomically: when the
+	// remaining buffer cannot hold a whole group, Fill returns early
+	// with (n, false) — possibly (0, false) for a buffer smaller than
+	// one group — and resumes from the same group on the next call.
+	// Callers must size buffers to at least one group (see
+	// MaxTxnAccesses) or Fill can never make progress.
 	Fill(dst []Access) (n int, done bool)
 	// TotalOps returns the total number of main-phase operations
 	// (excluding the init sweep), for throughput normalization.
@@ -62,21 +67,36 @@ type Transactional interface {
 	TxnAccesses() int
 }
 
+// defaultScanLength is the YCSB scan width NewYCSB programs; it bounds
+// the widest canonical transaction, so MaxTxnAccesses depends on it.
+const defaultScanLength = 8
+
 // MaxTxnAccesses returns the largest transaction footprint any canonical
 // workload construction produces: Silo touches 8 records per transaction
 // and a scan-heavy YCSB widens every operation to 1 + ScanLength. Batch
 // sizing (the demeter-sim -batch flag) validates against this so a batch
 // always holds at least one whole transaction.
 func MaxTxnAccesses() int {
-	// Constructor-minimum sizings: TxnAccesses depends only on the mix,
-	// never on table size, so the smallest legal instances suffice.
-	max := NewSilo(128, 1, 1).TxnAccesses()
+	// TxnAccesses depends only on the mix and scan width, never on table
+	// size, so bare values with the constructor defaults suffice.
+	max := (&Silo{}).TxnAccesses()
 	for _, mix := range []YCSBMix{YCSBA, YCSBB, YCSBC, YCSBE} {
-		if t := NewYCSB(64, 1, 1, mix).TxnAccesses(); t > max {
+		y := YCSB{Mix: mix, ScanLength: defaultScanLength}
+		if t := y.TxnAccesses(); t > max {
 			max = t
 		}
 	}
 	return max
+}
+
+// Must unwraps a constructor result, panicking on error. It is for
+// harness and test wiring whose sizes are compile-time constants;
+// config-driven paths (the serve daemon) propagate the error instead.
+func Must[W Workload](wl W, err error) W {
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return wl
 }
 
 // pageGVA converts a region start and page index to a byte address.

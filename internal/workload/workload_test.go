@@ -62,14 +62,14 @@ func pageCounts(accs []Access, start, pages uint64) []uint64 {
 
 func TestAllWorkloadsTerminateAndStayInBounds(t *testing.T) {
 	builders := []func() Workload{
-		func() Workload { return NewGUPS(1024, 5000, 1) },
-		func() Workload { return NewBTree(4096, 2000, 1) },
-		func() Workload { return NewXSBench(2048, 2000, 1) },
-		func() Workload { return NewLibLinear(2048, 5000, 1) },
-		func() Workload { return NewBwaves(512, 5000, 1) },
-		func() Workload { return NewSilo(2048, 1000, 1) },
-		func() Workload { return NewGraph500(512, 2000, 1) },
-		func() Workload { return NewPageRank(1024, 2000, 1) },
+		func() Workload { return Must(NewGUPS(1024, 5000, 1)) },
+		func() Workload { return Must(NewBTree(4096, 2000, 1)) },
+		func() Workload { return Must(NewXSBench(2048, 2000, 1)) },
+		func() Workload { return Must(NewLibLinear(2048, 5000, 1)) },
+		func() Workload { return Must(NewBwaves(512, 5000, 1)) },
+		func() Workload { return Must(NewSilo(2048, 1000, 1)) },
+		func() Workload { return Must(NewGraph500(512, 2000, 1)) },
+		func() Workload { return Must(NewPageRank(1024, 2000, 1)) },
 	}
 	for _, build := range builders {
 		w := build()
@@ -92,7 +92,7 @@ func TestAllWorkloadsTerminateAndStayInBounds(t *testing.T) {
 
 func TestWorkloadsAreDeterministic(t *testing.T) {
 	mk := func() []Access {
-		w := NewSilo(2048, 500, 42)
+		w := Must(NewSilo(2048, 500, 42))
 		w.Setup(newFakeAS())
 		return drain(t, w, 256)
 	}
@@ -113,11 +113,11 @@ func TestFillBeforeSetupPanics(t *testing.T) {
 			t.Fatal("Fill before Setup did not panic")
 		}
 	}()
-	NewGUPS(1024, 10, 1).Fill(make([]Access, 8))
+	Must(NewGUPS(1024, 10, 1)).Fill(make([]Access, 8))
 }
 
 func TestGUPSInitSweepIsSequential(t *testing.T) {
-	w := NewGUPS(256, 100, 1)
+	w := Must(NewGUPS(256, 100, 1))
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 128)
 	for i := 0; i < 256; i++ {
@@ -132,7 +132,7 @@ func TestGUPSInitSweepIsSequential(t *testing.T) {
 }
 
 func TestGUPSHotSectionDominates(t *testing.T) {
-	w := NewGUPS(1000, 200000, 7)
+	w := Must(NewGUPS(1000, 200000, 7))
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 4096)[1000:] // skip init
 	counts := pageCounts(accs, w.Region(), 1000)
@@ -154,7 +154,7 @@ func TestGUPSHotSectionDominates(t *testing.T) {
 }
 
 func TestBTreeRootIsHottest(t *testing.T) {
-	w := NewBTree(4096, 20000, 3)
+	w := Must(NewBTree(4096, 20000, 3))
 	as := newFakeAS()
 	w.Setup(as)
 	accs := drain(t, w, 4096)
@@ -171,7 +171,7 @@ func TestBTreeRootIsHottest(t *testing.T) {
 }
 
 func TestXSBenchIndexIsStaticHotspot(t *testing.T) {
-	w := NewXSBench(2048, 20000, 5)
+	w := Must(NewXSBench(2048, 20000, 5))
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 4096)
 	idxStart, idxPages := w.HotRegion()
@@ -188,7 +188,7 @@ func TestXSBenchIndexIsStaticHotspot(t *testing.T) {
 }
 
 func TestSiloHotspotShifts(t *testing.T) {
-	w := NewSilo(4096, 10000, 9)
+	w := Must(NewSilo(4096, 10000, 9))
 	w.Setup(newFakeAS())
 	firstPos := w.hotPos
 	accs := drain(t, w, 4096)
@@ -203,7 +203,7 @@ func TestSiloHotspotShifts(t *testing.T) {
 }
 
 func TestSiloWriteMix(t *testing.T) {
-	w := NewSilo(2048, 5000, 11)
+	w := Must(NewSilo(2048, 5000, 11))
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 4096)[2048:]
 	writes := 0
@@ -219,7 +219,7 @@ func TestSiloWriteMix(t *testing.T) {
 }
 
 func TestGraph500PowerLawScattered(t *testing.T) {
-	w := NewGraph500(512, 50000, 13)
+	w := Must(NewGraph500(512, 50000, 13))
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 4096)
 	counts := pageCounts(accs, w.vertexStart, w.VertexPages)
@@ -260,7 +260,7 @@ func TestGraph500PowerLawScattered(t *testing.T) {
 }
 
 func TestBwavesIsUniform(t *testing.T) {
-	w := NewBwaves(256, 3*256*4, 15) // four full sweeps
+	w := Must(NewBwaves(256, 3*256*4, 15)) // four full sweeps
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 4096)
 	counts := pageCounts(accs, w.starts[0], w.ArrayPages)
@@ -272,7 +272,7 @@ func TestBwavesIsUniform(t *testing.T) {
 }
 
 func TestLibLinearWeightsHot(t *testing.T) {
-	w := NewLibLinear(2048, 40000, 17)
+	w := Must(NewLibLinear(2048, 40000, 17))
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 4096)
 	ws, wp := w.HotRegion()
@@ -289,37 +289,44 @@ func TestLibLinearWeightsHot(t *testing.T) {
 }
 
 func TestTransactionalInterface(t *testing.T) {
-	var w Workload = NewSilo(2048, 10, 1)
+	var w Workload = Must(NewSilo(2048, 10, 1))
 	tx, ok := w.(Transactional)
 	if !ok || tx.TxnAccesses() != 8 {
 		t.Fatal("Silo must be Transactional with 8 accesses per txn")
 	}
-	if _, ok := Workload(NewGUPS(1024, 10, 1)).(Transactional); ok {
+	if _, ok := Workload(Must(NewGUPS(1024, 10, 1))).(Transactional); ok {
 		t.Fatal("GUPS should not be Transactional")
 	}
 }
 
 func TestConstructorValidation(t *testing.T) {
-	cases := []func(){
-		func() { NewGUPS(1, 1, 1) },
-		func() { NewBTree(1, 1, 1) },
-		func() { NewXSBench(1, 1, 1) },
-		func() { NewLibLinear(1, 1, 1) },
-		func() { NewBwaves(1, 1, 1) },
-		func() { NewSilo(1, 1, 1) },
-		func() { NewGraph500(1, 1, 1) },
-		func() { NewPageRank(1, 1, 1) },
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"gups", func() error { _, err := NewGUPS(1, 1, 1); return err }()},
+		{"btree", func() error { _, err := NewBTree(1, 1, 1); return err }()},
+		{"xsbench", func() error { _, err := NewXSBench(1, 1, 1); return err }()},
+		{"liblinear", func() error { _, err := NewLibLinear(1, 1, 1); return err }()},
+		{"bwaves", func() error { _, err := NewBwaves(1, 1, 1); return err }()},
+		{"silo", func() error { _, err := NewSilo(1, 1, 1); return err }()},
+		{"graph500", func() error { _, err := NewGraph500(1, 1, 1); return err }()},
+		{"pagerank", func() error { _, err := NewPageRank(1, 1, 1); return err }()},
 	}
-	for i, fn := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("constructor %d accepted a degenerate size", i)
-				}
-			}()
-			fn()
-		}()
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s constructor accepted a degenerate size", tc.name)
+		}
 	}
+}
+
+func TestMustPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Must did not panic on a constructor error")
+		}
+	}()
+	Must(NewGUPS(1, 1, 1))
 }
 
 func TestYCSBMixes(t *testing.T) {
@@ -331,7 +338,7 @@ func TestYCSBMixes(t *testing.T) {
 		{YCSBB, true},
 		{YCSBC, false},
 	} {
-		w := NewYCSB(2048, 20000, 5, tc.mix)
+		w := Must(NewYCSB(2048, 20000, 5, tc.mix))
 		w.Setup(newFakeAS())
 		accs := drain(t, w, 4096)[2048+64:] // skip init
 		writes := 0
@@ -352,7 +359,7 @@ func TestYCSBMixes(t *testing.T) {
 }
 
 func TestYCSBZipfianSkewScattered(t *testing.T) {
-	w := NewYCSB(1024, 50000, 9, YCSBC)
+	w := Must(NewYCSB(1024, 50000, 9, YCSBC))
 	w.Setup(newFakeAS())
 	accs := drain(t, w, 4096)
 	counts := pageCounts(accs, w.recordStart, w.RecordPages)
@@ -373,7 +380,7 @@ func TestYCSBZipfianSkewScattered(t *testing.T) {
 }
 
 func TestYCSBScanMixWidth(t *testing.T) {
-	w := NewYCSB(1024, 1000, 3, YCSBE)
+	w := Must(NewYCSB(1024, 1000, 3, YCSBE))
 	if w.TxnAccesses() != 1+w.ScanLength {
 		t.Fatalf("scan mix width = %d", w.TxnAccesses())
 	}
@@ -386,17 +393,13 @@ func TestYCSBScanMixWidth(t *testing.T) {
 }
 
 func TestYCSBValidation(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NewYCSB(8, 1, 1, YCSBA) },
-		func() { NewYCSB(1024, 1, 1, YCSBMix{ReadFrac: 0.3}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("bad YCSB config accepted")
-				}
-			}()
-			fn()
-		}()
+	if _, err := NewYCSB(8, 1, 1, YCSBA); err == nil {
+		t.Error("undersized YCSB record space accepted")
+	}
+	if _, err := NewYCSB(1024, 1, 1, YCSBMix{ReadFrac: 0.3}); err == nil {
+		t.Error("YCSB mix not summing to 1 accepted")
+	}
+	if _, err := NewYCSB(1024, 1, 1, YCSBMix{ReadFrac: 1.5, UpdateFrac: -0.5}); err == nil {
+		t.Error("negative YCSB mix fraction accepted")
 	}
 }

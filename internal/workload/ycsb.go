@@ -47,14 +47,19 @@ type YCSB struct {
 	ready       bool
 }
 
-// NewYCSB builds a YCSB driver with the given mix.
-func NewYCSB(recordPages, ops, seed uint64, mix YCSBMix) *YCSB {
+// NewYCSB builds a YCSB driver with the given mix. Invalid sizings and
+// mixes are configuration errors, reported rather than panicking, so
+// config-driven frontends (the serve daemon) can surface them.
+func NewYCSB(recordPages, ops, seed uint64, mix YCSBMix) (*YCSB, error) {
 	if recordPages < 64 {
-		panic("ycsb: table too small")
+		return nil, fmt.Errorf("ycsb: table of %d pages too small (want >= 64)", recordPages)
 	}
 	total := mix.ReadFrac + mix.UpdateFrac + mix.ScanFrac
 	if total < 0.999 || total > 1.001 {
-		panic(fmt.Sprintf("ycsb: mix fractions sum to %v, want 1", total))
+		return nil, fmt.Errorf("ycsb: mix fractions sum to %v, want 1", total)
+	}
+	if mix.ReadFrac < 0 || mix.UpdateFrac < 0 || mix.ScanFrac < 0 {
+		return nil, fmt.Errorf("ycsb: negative mix fraction in %+v", mix)
 	}
 	idx := recordPages / 32
 	if idx == 0 {
@@ -65,10 +70,10 @@ func NewYCSB(recordPages, ops, seed uint64, mix YCSBMix) *YCSB {
 		IndexPages:  idx,
 		Mix:         mix,
 		Skew:        1.1,
-		ScanLength:  8,
+		ScanLength:  defaultScanLength,
 		Ops:         ops,
 		Seed:        seed,
-	}
+	}, nil
 }
 
 // Name implements Workload.
