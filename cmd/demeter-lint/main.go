@@ -1,25 +1,32 @@
 // demeter-lint is the repo's static-analysis gate: a multichecker over
 // the analyzers in internal/analysis that turns the simulator's runtime
 // contracts — determinism, byte-identical reports, a 0 allocs/op access
-// fast path, handled constructor errors — into compile-time checks.
+// fast path, handled constructor errors, lock discipline, shard-safe
+// state, canonical float folds — into compile-time checks.
 //
 // Usage:
 //
 //	go run ./cmd/demeter-lint ./...             # whole repo (CI gate)
 //	go run ./cmd/demeter-lint ./internal/tlb    # one package
 //	go run ./cmd/demeter-lint -only simdet ./...
+//	go run ./cmd/demeter-lint -json ./... > lint-report.json
 //	go run ./cmd/demeter-lint -list
 //
-// Exit status is 1 when any diagnostic is reported, 2 on usage or load
-// errors. Suppress individual findings with
+// Exit status is 1 when any diagnostic (finding or stale suppression)
+// is reported, 2 on usage or load errors. Suppress individual findings
+// with
 //
 //	//lint:allow <analyzer> <reason>
 //
 // on the flagged line or the line directly above it; the reason is
-// mandatory.
+// mandatory. A directive that suppresses nothing is itself reported as
+// stale (-stale, on by default; stale detection is only meaningful for
+// full-module runs, since a partial load can miss the finding a
+// directive suppresses).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +37,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	stale := flag.Bool("stale", true, "report //lint:allow directives that suppress nothing")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON report on stdout (human summary goes to stderr)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: demeter-lint [-list] [-only a,b] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: demeter-lint [-list] [-only a,b] [-stale=false] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,16 +78,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "demeter-lint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	res, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "demeter-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if !*stale {
+		res.Stale = nil
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "demeter-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	if *asJSON {
+		rep := analysis.NewJSONReport(loader.ModuleDir, analyzers, res)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "demeter-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
+		for _, d := range res.Stale {
+			fmt.Println(d)
+		}
+	}
+	total := len(res.Diags) + len(res.Stale)
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "demeter-lint: %d finding(s) (%d stale allow(s)) in %d package(s)\n",
+			len(res.Diags), len(res.Stale), len(pkgs))
 		os.Exit(1)
 	}
 }

@@ -12,23 +12,43 @@
 //   - mapiter:      no map iteration feeding report/journal/JSON output
 //     without an intervening sort
 //   - hotpath:      functions annotated //demeter:hotpath contain no
-//     allocating constructs
+//     allocating constructs, and neither does anything in their
+//     in-module call tree (stopped at //demeter:coldpath)
 //   - errpropagate: no discarded errors from constructors or
 //     Commit/Rollback paths under internal/
+//   - lockorder:    no inconsistent mutex acquisition order, re-entry,
+//     or locks held across blocking operations under internal/
+//   - crossshard:   no package-level mutable state in simulation
+//     packages reachable from engine/experiments run paths
+//   - floatfold:    no float accumulation in nondeterministic order
+//     (map ranges, fan-out collection callbacks) under internal/
+//
+// The syntactic analyzers run per package through Analyzer.Run; the
+// flow-sensitive ones (lockorder, crossshard, and hotpath's call-tree
+// walk) run once over the whole loaded module through
+// Analyzer.RunModule, against the shared internal/analysis/flow CFG and
+// call graph exposed on both pass types.
 //
 // Suppression: a finding is silenced by a comment of the form
 //
 //	//lint:allow <analyzer> <reason>
 //
 // on the flagged line or on the line directly above it. The reason is
-// mandatory; an allow without one suppresses nothing. The hotpath
-// analyzer additionally keys off //demeter:hotpath annotations in a
-// function's doc comment.
+// mandatory; an allow without one suppresses nothing. A directive that
+// suppresses nothing in the current tree is itself reported as stale
+// (analyzer name "staleallow"), so allow-debt cannot accumulate; stale
+// directives are only computed for analyzers that actually ran, and a
+// partial load (anything narrower than ./...) can miss the finding a
+// directive suppresses, so stale enforcement belongs to full-module
+// runs like CI and TestRepoIsLintClean. The hotpath analyzer
+// additionally keys off //demeter:hotpath annotations in a function's
+// doc comment.
 //
 // The x/tools module is deliberately not imported: the build must work in
 // a hermetic environment with only the Go toolchain present, so the
-// driver (Load + Run), the fixture harness (analysistest) and the
-// multichecker (cmd/demeter-lint) are all local code.
+// driver (Load + Run), the flow layer (internal/analysis/flow), the
+// fixture harness (analysistest) and the multichecker (cmd/demeter-lint)
+// are all local code.
 package analysis
 
 import (
@@ -39,11 +59,21 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"demeter/internal/analysis/flow"
 )
+
+// StaleName is the pseudo-analyzer name carried by stale-suppression
+// diagnostics. It is not a real analyzer: stale findings cannot
+// themselves be suppressed with //lint:allow.
+const StaleName = "staleallow"
 
 // Analyzer describes one static check. It mirrors the x/tools analysis
 // API shape so the checks could be ported to a real multichecker wholesale
-// if the dependency ever becomes available.
+// if the dependency ever becomes available. Exactly one of Run and
+// RunModule is set: Run performs a per-package check, RunModule a
+// whole-module one (called once per driver run with every loaded
+// package and the shared call graph).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //lint:allow <name> suppressions.
@@ -51,8 +81,10 @@ type Analyzer struct {
 	// Doc is a one-paragraph description, shown by demeter-lint -list.
 	Doc string
 	// Run performs the check on one package and reports findings
-	// through pass.Report.
+	// through pass.Reportf.
 	Run func(pass *Pass) error
+	// RunModule performs the check once over every loaded package.
+	RunModule func(pass *ModulePass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -63,8 +95,22 @@ type Pass struct {
 	PkgPath   string
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Flow is the module-wide call graph over every package in the
+	// current driver run (not only this pass's package).
+	Flow *flow.Module
 
-	allow  map[allowKey]bool
+	allow  *allowIndex
+	report func(Diagnostic)
+}
+
+// ModulePass carries a module-wide analyzer's view of the whole run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Flow     *flow.Module
+
+	allow  *allowIndex
 	report func(Diagnostic)
 }
 
@@ -79,14 +125,33 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
+// Result is one driver run's findings: Diags from the analyzers, Stale
+// for //lint:allow directives that suppressed nothing. Both sorted by
+// position.
+type Result struct {
+	Diags []Diagnostic
+	Stale []Diagnostic
+}
+
 // Reportf reports a finding at pos unless a //lint:allow suppression
 // covers its line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.allow[allowKey{file: position.Filename, line: position.Line, analyzer: p.Analyzer.Name}] {
+	reportf(p.Fset, p.allow, p.report, p.Analyzer.Name, pos, format, args...)
+}
+
+// Reportf reports a finding at pos unless a //lint:allow suppression
+// covers its line. Module-wide analyzers report into whichever file
+// holds pos; the suppression index spans every loaded package.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	reportf(p.Fset, p.allow, p.report, p.Analyzer.Name, pos, format, args...)
+}
+
+func reportf(fset *token.FileSet, allow *allowIndex, report func(Diagnostic), analyzer string, pos token.Pos, format string, args ...any) {
+	position := fset.Position(pos)
+	if allow.suppress(position, analyzer) {
 		return
 	}
-	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: position, Message: fmt.Sprintf(format, args...)})
+	report(Diagnostic{Analyzer: analyzer, Pos: position, Message: fmt.Sprintf(format, args...)})
 }
 
 type allowKey struct {
@@ -95,12 +160,30 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowDirective is one //lint:allow comment. A directive covers its
+// own line and the next one; when either suppresses a finding the
+// directive is used, otherwise it is stale.
+type allowDirective struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
+
+// allowIndex is the module-wide suppression index, shared by every
+// analyzer in a run so stale detection sees all usage.
+type allowIndex struct {
+	byKey map[allowKey]*allowDirective
+	// all holds every directive in first-seen order for the stale scan.
+	all []*allowDirective
+}
+
 var allowRE = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9_]*)\s+(\S.*)$`)
 
-// buildAllowIndex scans a file's comments for //lint:allow directives.
-// Each well-formed directive (analyzer name plus a non-empty reason)
-// suppresses that analyzer on the comment's own line and on the line
-// immediately after it, which covers both the trailing form
+// buildAllowIndex scans every file's comments for //lint:allow
+// directives. Each well-formed directive (analyzer name plus a
+// non-empty reason) suppresses that analyzer on the comment's own line
+// and on the line immediately after it, which covers both the trailing
+// form
 //
 //	foo()          //lint:allow simdet wall clock feeds only the log line
 //
@@ -108,29 +191,93 @@ var allowRE = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9_]*)\s+(\S.*)$`)
 //
 //	//lint:allow simdet wall clock feeds only the log line
 //	foo()
-func buildAllowIndex(fset *token.FileSet, files []*ast.File, analyzer string, idx map[allowKey]bool) {
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				m := allowRE.FindStringSubmatch(text)
-				if m == nil || m[1] != analyzer {
-					continue
+func buildAllowIndex(fset *token.FileSet, pkgs []*Package) *allowIndex {
+	idx := &allowIndex{byKey: map[allowKey]*allowDirective{}}
+	seenFile := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := fset.Position(f.Pos()).Filename
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					m := allowRE.FindStringSubmatch(text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Slash)
+					d := &allowDirective{analyzer: m[1], pos: pos}
+					idx.all = append(idx.all, d)
+					idx.byKey[allowKey{file: pos.Filename, line: pos.Line, analyzer: m[1]}] = d
+					idx.byKey[allowKey{file: pos.Filename, line: pos.Line + 1, analyzer: m[1]}] = d
 				}
-				pos := fset.Position(c.Slash)
-				idx[allowKey{file: pos.Filename, line: pos.Line, analyzer: analyzer}] = true
-				idx[allowKey{file: pos.Filename, line: pos.Line + 1, analyzer: analyzer}] = true
 			}
 		}
 	}
+	return idx
 }
 
-// Run applies each analyzer to each package and returns all findings
-// sorted by position. An analyzer error (not a finding) aborts the run.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+// suppress reports whether a directive covers the position, marking it
+// used.
+func (idx *allowIndex) suppress(pos token.Position, analyzer string) bool {
+	d := idx.byKey[allowKey{file: pos.Filename, line: pos.Line, analyzer: analyzer}]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// stale returns a diagnostic for every directive naming one of the run
+// analyzers that suppressed nothing.
+func (idx *allowIndex) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range idx.all {
+		if d.used || !ran[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: StaleName,
+			Pos:      d.pos,
+			Message:  fmt.Sprintf("stale //lint:allow %s directive: it suppresses no current finding", d.analyzer),
+		})
+	}
+	return out
+}
+
+// Run applies each analyzer to the loaded packages — per-package
+// analyzers to each package, module analyzers once over all of them —
+// and returns the findings plus any stale suppressions, each sorted by
+// position. An analyzer error (not a finding) aborts the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) (Result, error) {
+	var res Result
+	var fset *token.FileSet
+	flowPkgs := make([]*flow.Pkg, 0, len(pkgs))
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		fset = pkg.Fset
+		flowPkgs = append(flowPkgs, &flow.Pkg{Path: pkg.Path, Files: pkg.Files, Types: pkg.Types, Info: pkg.Info})
+	}
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	mod := flow.Build(fset, flowPkgs)
+	allow := buildAllowIndex(fset, pkgs)
+	report := func(d Diagnostic) { res.Diags = append(res.Diags, d) }
+
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.RunModule != nil {
+			pass := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, Flow: mod, allow: allow, report: report}
+			if err := a.RunModule(pass); err != nil {
+				return Result{}, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -138,15 +285,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				PkgPath:   pkg.Path,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
-				allow:     map[allowKey]bool{},
-				report:    func(d Diagnostic) { diags = append(diags, d) },
+				Flow:      mod,
+				allow:     allow,
+				report:    report,
 			}
-			buildAllowIndex(pkg.Fset, pkg.Files, a.Name, pass.allow)
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return Result{}, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
+	res.Stale = allow.stale(ran)
+	sortDiags(res.Diags)
+	sortDiags(res.Stale)
+	return res, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -158,14 +312,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // All returns the full analyzer suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{Simdet, Mapiter, Hotpath, Errpropagate}
+	return []*Analyzer{Simdet, Mapiter, Hotpath, Errpropagate, Lockorder, Crossshard, Floatfold}
 }
 
 // ByName resolves a comma-separated analyzer list ("simdet,hotpath").

@@ -67,10 +67,11 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 	if err != nil {
 		t.Fatalf("analysistest: loading fixtures: %v", err)
 	}
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	res, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: running %s: %v", a.Name, err)
 	}
+	diags := res.Diags
 
 	var wants []*expectation
 	for _, pkg := range pkgs {

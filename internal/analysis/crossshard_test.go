@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"demeter/internal/analysis"
+	"demeter/internal/analysis/analysistest"
+)
+
+// TestCrossshardFixture pins the crossshard analyzer on a three-package
+// fixture module: a fake engine run path, a simulation package whose
+// mutable cursor is flagged (with init-seeded, orphaned and suppressed
+// variants staying silent), and a non-simulation util package proving
+// the gate.
+func TestCrossshardFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Crossshard,
+		"demeter/internal/engine", "demeter/internal/workload", "demeter/internal/util")
+}
+
+// TestCrossshardNoEntries proves the analyzer is inert when the loaded
+// module has no engine/experiments package, so fixture sets for other
+// analyzers cannot grow crossshard findings. The workload fixture's
+// `// want` expectation only holds when the engine package is loaded,
+// so this goes through the driver directly rather than analysistest.
+func TestCrossshardNoEntries(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.SrcDir = filepath.Join(analysistest.TestData(t), "src")
+	pkgs, err := loader.LoadPackages("demeter/internal/workload", "demeter/internal/util")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.Crossshard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("unexpected diagnostic without run-path entries: %s", d)
+	}
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"demeter/internal/analysis"
+	"demeter/internal/analysis/analysistest"
+)
+
+// TestFloatfoldFixture pins the floatfold analyzer: map-range and
+// fan-out/goroutine folds fire; keyed writes, per-iteration locals,
+// integer folds, canonical-order folds and suppressed lines stay
+// silent, as does the whole non-internal gating package.
+func TestFloatfoldFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Floatfold,
+		"demeter/internal/foldfix", "plainfix")
+}

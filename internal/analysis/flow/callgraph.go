@@ -1,0 +1,156 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// posRange is a half-open source span.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.lo <= p && p < r.hi }
+
+// resolveCalls collects every call site in fn's body in source order,
+// marks its lexical context (inside a closure body, inside a panic
+// argument list), and resolves the targets static information can
+// reach.
+func (m *Module) resolveCalls(fn *Func) {
+	var litRanges, panicRanges []posRange
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litRanges = append(litRanges, posRange{n.Body.Pos(), n.Body.End()})
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, bok := fn.Pkg.Info.Uses[id].(*types.Builtin); bok && b.Name() == "panic" && len(n.Args) > 0 {
+					panicRanges = append(panicRanges, posRange{n.Args[0].Pos(), n.Rparen})
+				}
+			}
+		}
+		return true
+	})
+	within := func(ranges []posRange, p token.Pos) bool {
+		for _, r := range ranges {
+			if r.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		site, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		call := m.resolveCall(fn.Pkg, site, within(litRanges, site.Pos()), within(panicRanges, site.Pos()))
+		if call != nil {
+			fn.Calls = append(fn.Calls, call)
+		}
+		return true
+	})
+}
+
+// resolveCall builds the Call record for one site, or nil for builtins
+// and conversions.
+func (m *Module) resolveCall(pkg *Pkg, call *ast.CallExpr, inFuncLit, inPanicArg bool) *Call {
+	info := pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return nil
+		}
+	}
+	c := &Call{Site: call, InFuncLit: inFuncLit, InPanicArg: inPanicArg}
+	obj := staticCallee(info, call)
+	if obj == nil {
+		return c // function value: unresolved
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			c.Interface = true
+			c.Callees = m.implementers(recv.Type(), obj)
+			return c
+		}
+	}
+	if target := m.funcs[obj]; target != nil {
+		c.Callees = []*Func{target}
+	}
+	return c
+}
+
+// staticCallee resolves the called *types.Func, mirroring the parent
+// package's calleeFunc helper (duplicated to keep flow import-free).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// implementers returns the in-module methods that a dynamic call to
+// method on iface can dispatch to: for every named type declared in a
+// loaded package whose pointer or value method set satisfies the
+// interface, the concrete method with that name. Sorted by position.
+func (m *Module) implementers(iface types.Type, method *types.Func) []*Func {
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*Func
+	seen := map[*Func]bool{}
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			recv := types.Type(named)
+			if !types.Implements(named, it) {
+				if !types.Implements(types.NewPointer(named), it) {
+					continue
+				}
+				recv = types.NewPointer(named)
+			}
+			sel := types.NewMethodSet(recv).Lookup(method.Pkg(), method.Name())
+			if sel == nil {
+				continue
+			}
+			obj, _ := sel.Obj().(*types.Func)
+			if target := m.funcs[obj]; target != nil && !seen[target] {
+				seen[target] = true
+				out = append(out, target)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}

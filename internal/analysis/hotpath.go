@@ -1,10 +1,13 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
+
+	"demeter/internal/analysis/flow"
 )
 
 // HotpathAnnotation marks a function as part of the simulator's access
@@ -18,79 +21,164 @@ import (
 // statically here, dynamically by the alloc counter.
 const HotpathAnnotation = "demeter:hotpath"
 
+// ColdpathAnnotation marks a function as a deliberate slow path:
+//
+//	//demeter:coldpath
+//	func (vm *VM) refillQueue() { … }
+//
+// The hotpath analyzer's call-tree walk stops at coldpath functions —
+// they are reached from the fast path only on miss/fault/arming edges
+// where allocation is accepted — without exempting the hot caller
+// itself.
+const ColdpathAnnotation = "demeter:coldpath"
+
 // Hotpath forbids allocating constructs inside functions annotated
-// //demeter:hotpath: fmt calls, closure literals, map/slice composite
-// literals, &composite literals, make/new, append, conversions that box
-// into an interface (explicit or via argument passing), string
-// concatenation, string<->[]byte conversions, map writes, defer, and go.
+// //demeter:hotpath and, interprocedurally, inside every in-module
+// function their call trees reach: fmt calls, closure literals,
+// map/slice composite literals, &composite literals, make/new, append,
+// conversions that box into an interface (explicit or via argument
+// passing), string concatenation, string<->[]byte conversions, map
+// writes, defer, and go.
+//
+// The call tree is walked through static calls and interface calls
+// resolved to in-module implementers, without requiring per-callee
+// annotations; findings in un-annotated callees carry the call chain
+// from the nearest annotated root. The walk stops at functions
+// annotated //demeter:coldpath (deliberate slow paths) and does not
+// follow calls inside panic arguments or closure bodies (the closure
+// literal itself is already flagged where it appears in hot code).
 //
 // Arguments of panic calls are exempt: a hot-path function that dies on
 // corruption may format its last words, since that path never returns.
 // Deliberate allocations (e.g. appending to a buffer preallocated at
 // arm time) carry //lint:allow hotpath <reason>.
 var Hotpath = &Analyzer{
-	Name: "hotpath",
-	Doc:  "forbid allocating constructs in functions annotated //demeter:hotpath",
-	Run:  runHotpath,
+	Name:      "hotpath",
+	Doc:       "forbid allocating constructs in //demeter:hotpath functions and their whole in-module call tree (stopped at //demeter:coldpath)",
+	RunModule: runHotpath,
 }
 
-// IsHotpathAnnotated reports whether a function declaration carries the
-// //demeter:hotpath annotation.
-func IsHotpathAnnotated(fd *ast.FuncDecl) bool {
+func hasAnnotation(fd *ast.FuncDecl, annotation string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
 		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-		if text == HotpathAnnotation || strings.HasPrefix(text, HotpathAnnotation+" ") {
+		if text == annotation || strings.HasPrefix(text, annotation+" ") {
 			return true
 		}
 	}
 	return false
 }
 
-func runHotpath(pass *Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !IsHotpathAnnotated(fd) {
+// IsHotpathAnnotated reports whether a function declaration carries the
+// //demeter:hotpath annotation.
+func IsHotpathAnnotated(fd *ast.FuncDecl) bool { return hasAnnotation(fd, HotpathAnnotation) }
+
+// IsColdpathAnnotated reports whether a function declaration carries
+// the //demeter:coldpath annotation.
+func IsColdpathAnnotated(fd *ast.FuncDecl) bool { return hasAnnotation(fd, ColdpathAnnotation) }
+
+func runHotpath(pass *ModulePass) error {
+	mod := pass.Flow
+	var roots []*flow.Func
+	for _, f := range mod.Funcs() {
+		if IsHotpathAnnotated(f.Decl) {
+			roots = append(roots, f)
+		}
+	}
+	// Multi-source BFS over the call graph with parent pointers, so a
+	// finding in an un-annotated callee can name a shortest chain from
+	// an annotated root. Panic-argument calls are the dying-words path;
+	// closure-body calls only run if the closure does, and the closure
+	// literal itself is flagged in hot code; coldpath functions are
+	// deliberate slow-path boundaries.
+	parent := make(map[*flow.Func]*flow.Func, len(roots))
+	for _, r := range roots {
+		parent[r] = nil
+	}
+	queue := append([]*flow.Func(nil), roots...)
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, call := range f.Calls {
+			if call.InPanicArg || call.InFuncLit {
 				continue
 			}
-			checkHotpathBody(pass, fd)
+			for _, callee := range call.Callees {
+				if _, seen := parent[callee]; seen {
+					continue
+				}
+				if IsColdpathAnnotated(callee.Decl) {
+					continue
+				}
+				parent[callee] = f
+				queue = append(queue, callee)
+			}
 		}
+	}
+	for _, f := range mod.Funcs() {
+		if _, in := parent[f]; !in {
+			continue
+		}
+		suffix := ""
+		if !IsHotpathAnnotated(f.Decl) {
+			suffix = fmt.Sprintf(" (hot-path tree: %s)", flow.Chain(parent, f, f.Pkg.Path))
+		}
+		scan := &hotpathScan{
+			info:   f.Pkg.Info,
+			fname:  f.Name(),
+			suffix: suffix,
+			pass:   pass,
+		}
+		scan.check(f.Decl)
 	}
 	return nil
 }
 
-func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
-	info := pass.TypesInfo
+// hotpathScan checks one function body. fname names the function in
+// messages; suffix carries the call chain for un-annotated tree
+// members.
+type hotpathScan struct {
+	info   *types.Info
+	fname  string
+	suffix string
+	pass   *ModulePass
+}
+
+func (s *hotpathScan) reportf(pos token.Pos, format string, args ...any) {
+	s.pass.Reportf(pos, format+"%s", append(args, s.suffix)...)
+}
+
+func (s *hotpathScan) check(fd *ast.FuncDecl) {
+	info := s.info
 	var visit func(n ast.Node) bool
 	visit = func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure literal in hot path %s allocates", fd.Name.Name)
+			s.reportf(n.Pos(), "closure literal in hot path %s allocates", s.fname)
 			return false
 		case *ast.DeferStmt:
-			pass.Reportf(n.Pos(), "defer in hot path %s allocates and delays work", fd.Name.Name)
+			s.reportf(n.Pos(), "defer in hot path %s allocates and delays work", s.fname)
 			return false
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "goroutine launch in hot path %s allocates", fd.Name.Name)
+			s.reportf(n.Pos(), "goroutine launch in hot path %s allocates", s.fname)
 			return false
 		case *ast.CompositeLit:
 			t := info.TypeOf(n)
 			if t != nil {
 				switch t.Underlying().(type) {
 				case *types.Map:
-					pass.Reportf(n.Pos(), "map literal in hot path %s allocates", fd.Name.Name)
+					s.reportf(n.Pos(), "map literal in hot path %s allocates", s.fname)
 				case *types.Slice:
-					pass.Reportf(n.Pos(), "slice literal in hot path %s allocates", fd.Name.Name)
+					s.reportf(n.Pos(), "slice literal in hot path %s allocates", s.fname)
 				}
 			}
 			return true
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "&composite literal in hot path %s heap-allocates", fd.Name.Name)
+					s.reportf(n.Pos(), "&composite literal in hot path %s heap-allocates", s.fname)
 				}
 			}
 			return true
@@ -98,7 +186,7 @@ func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
 			if n.Op == token.ADD {
 				if t := info.TypeOf(n); t != nil {
 					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates", fd.Name.Name)
+						s.reportf(n.Pos(), "string concatenation in hot path %s allocates", s.fname)
 					}
 				}
 			}
@@ -106,27 +194,27 @@ func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
 				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapType(info.TypeOf(idx.X)) {
-					pass.Reportf(lhs.Pos(), "map write in hot path %s may allocate", fd.Name.Name)
+					s.reportf(lhs.Pos(), "map write in hot path %s may allocate", s.fname)
 				}
 			}
 			return true
 		case *ast.IncDecStmt:
 			if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && isMapType(info.TypeOf(idx.X)) {
-				pass.Reportf(n.Pos(), "map write in hot path %s may allocate", fd.Name.Name)
+				s.reportf(n.Pos(), "map write in hot path %s may allocate", s.fname)
 			}
 			return true
 		case *ast.CallExpr:
-			return visitHotpathCall(pass, fd, n)
+			return s.visitCall(n)
 		}
 		return true
 	}
 	ast.Inspect(fd.Body, visit)
 }
 
-// visitHotpathCall checks one call expression; the return value tells
+// visitCall checks one call expression; the return value tells
 // ast.Inspect whether to descend into the call's children.
-func visitHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
-	info := pass.TypesInfo
+func (s *hotpathScan) visitCall(call *ast.CallExpr) bool {
+	info := s.info
 	if b := calleeBuiltin(info, call); b != "" {
 		switch b {
 		case "panic":
@@ -134,9 +222,9 @@ func visitHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
 			// message there cannot perturb steady-state allocation.
 			return false
 		case "append":
-			pass.Reportf(call.Pos(), "append in hot path %s may grow its backing array (preallocate, or lint:allow with the capacity argument)", fd.Name.Name)
+			s.reportf(call.Pos(), "append in hot path %s may grow its backing array (preallocate, or lint:allow with the capacity argument)", s.fname)
 		case "make", "new":
-			pass.Reportf(call.Pos(), "%s in hot path %s allocates", b, fd.Name.Name)
+			s.reportf(call.Pos(), "%s in hot path %s allocates", b, s.fname)
 		}
 		return true
 	}
@@ -146,19 +234,19 @@ func visitHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
 			return true
 		}
 		if isInterfaceType(target) {
-			pass.Reportf(call.Pos(), "conversion to interface in hot path %s boxes its operand", fd.Name.Name)
+			s.reportf(call.Pos(), "conversion to interface in hot path %s boxes its operand", s.fname)
 			return true
 		}
 		if len(call.Args) == 1 {
 			from := info.TypeOf(call.Args[0])
 			if isStringSliceConv(from, target) {
-				pass.Reportf(call.Pos(), "string/slice conversion in hot path %s copies and allocates", fd.Name.Name)
+				s.reportf(call.Pos(), "string/slice conversion in hot path %s copies and allocates", s.fname)
 			}
 		}
 		return true
 	}
 	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates", fn.Name(), fd.Name.Name)
+		s.reportf(call.Pos(), "fmt.%s in hot path %s allocates", fn.Name(), s.fname)
 		return true
 	}
 	// Implicit boxing: a concrete argument passed for an interface
@@ -197,7 +285,7 @@ func visitHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
 		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in hot path %s", at, pt, fd.Name.Name)
+		s.reportf(arg.Pos(), "argument boxes %s into interface %s in hot path %s", at, pt, s.fname)
 	}
 	return true
 }

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// JSONDiagnostic is one finding in the machine-readable report. Field
+// order is part of the format: encoding/json emits struct fields in
+// declaration order, and CI artifacts are diffed textually.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the demeter-lint -json output: the analyzers that ran,
+// their findings, and stale suppressions, all sorted (findings by
+// file/line/column/analyzer, analyzers in suite order).
+type JSONReport struct {
+	Analyzers []string         `json:"analyzers"`
+	Findings  []JSONDiagnostic `json:"findings"`
+	Stale     []JSONDiagnostic `json:"stale"`
+}
+
+// NewJSONReport converts a driver result. File paths are made relative
+// to moduleDir when possible so the report is machine-independent.
+func NewJSONReport(moduleDir string, analyzers []*Analyzer, res Result) JSONReport {
+	rep := JSONReport{
+		Analyzers: make([]string, 0, len(analyzers)),
+		Findings:  make([]JSONDiagnostic, 0, len(res.Diags)),
+		Stale:     make([]JSONDiagnostic, 0, len(res.Stale)),
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, d := range res.Diags {
+		rep.Findings = append(rep.Findings, jsonDiag(moduleDir, d))
+	}
+	for _, d := range res.Stale {
+		rep.Stale = append(rep.Stale, jsonDiag(moduleDir, d))
+	}
+	return rep
+}
+
+func jsonDiag(moduleDir string, d Diagnostic) JSONDiagnostic {
+	file := d.Pos.Filename
+	if moduleDir != "" {
+		if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return JSONDiagnostic{File: file, Line: d.Pos.Line, Column: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+}

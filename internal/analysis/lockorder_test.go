@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"demeter/internal/analysis"
+	"demeter/internal/analysis/analysistest"
+)
+
+// TestLockorderFixture pins the lockorder analyzer on a fixture that
+// covers direct and call-propagated re-entry, may-hold branch joins,
+// an AB/BA lock-order cycle, locks held across blocking operations
+// (inline and through a callee summary), a suppressed double-acquire,
+// and the non-internal gating package.
+func TestLockorderFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Lockorder,
+		"demeter/internal/lockfix", "plainfix")
+}

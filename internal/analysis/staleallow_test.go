@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"demeter/internal/analysis"
+	"demeter/internal/analysis/analysistest"
+)
+
+func loadStalefix(t *testing.T) []*analysis.Package {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.SrcDir = filepath.Join(analysistest.TestData(t), "src")
+	pkgs, err := loader.LoadPackages("stalefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestStaleAllowDetected runs the full suite over the stalefix fixture:
+// the used hotpath directive suppresses its finding quietly, while the
+// orphaned mapiter directive comes back as a staleallow diagnostic.
+func TestStaleAllowDetected(t *testing.T) {
+	res, err := analysis.Run(loadStalefix(t), analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if len(res.Stale) != 1 {
+		t.Fatalf("got %d stale directives, want 1: %v", len(res.Stale), res.Stale)
+	}
+	s := res.Stale[0]
+	if s.Analyzer != analysis.StaleName {
+		t.Errorf("stale diagnostic analyzer = %q, want %q", s.Analyzer, analysis.StaleName)
+	}
+	if !strings.Contains(s.Message, "stale //lint:allow mapiter directive") {
+		t.Errorf("stale message = %q, want it to name the mapiter directive", s.Message)
+	}
+}
+
+// TestStaleOnlyForRanAnalyzers pins the partial-run rule: a directive
+// is only stale when the analyzer it names actually ran, so narrow
+// -only invocations cannot misreport suppressions they never tested.
+func TestStaleOnlyForRanAnalyzers(t *testing.T) {
+	res, err := analysis.Run(loadStalefix(t), []*analysis.Analyzer{analysis.Hotpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) != 0 {
+		t.Errorf("got %d stale directives from a hotpath-only run, want 0: %v", len(res.Stale), res.Stale)
+	}
+}

@@ -1,0 +1,21 @@
+// Package engine impersonates the run path: every function in a
+// package whose path ends in /internal/engine is a crossshard entry,
+// so anything this package reaches must be shard-safe.
+package engine
+
+import (
+	"demeter/internal/util"
+	"demeter/internal/workload"
+)
+
+// Run drives the fixture workload the way the real engine drives a
+// cluster run.
+func Run(steps int) int {
+	util.Bump()
+	workload.SetTuning("hot", 2)
+	total := 0
+	for i := 0; i < steps; i++ {
+		total += workload.Advance()
+	}
+	return total + workload.Step()
+}

@@ -1,0 +1,129 @@
+// Package foldfix exercises the floatfold analyzer: float accumulation
+// in map-iteration or fan-out completion order is nondeterministic,
+// while keyed writes, per-iteration locals and canonical-order folds
+// are fine.
+package foldfix
+
+import "sort"
+
+// FanOut mimics the experiment runner's coordinator: callbacks complete
+// in nondeterministic order, so the analyzer treats its function-literal
+// arguments as fold regions by name.
+func FanOut(n int, job func(i int)) {
+	for i := 0; i < n; i++ {
+		job(i)
+	}
+}
+
+func mapFold(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into total inside range over map folds in nondeterministic order`
+	}
+	return total
+}
+
+// rebalance uses the x = x op y spelling; same fold, same finding.
+func rebalance(weights map[string]float64) float64 {
+	norm := 1.0
+	for _, w := range weights {
+		norm = norm * w // want `float accumulation into norm inside range over map folds in nondeterministic order`
+	}
+	return norm
+}
+
+// keyedWrite hits each key once per iteration: order cannot matter.
+func keyedWrite(in, out map[string]float64) {
+	for k, v := range in {
+		out[k] += v
+	}
+}
+
+// decayValues mutates the per-iteration range value and writes it back
+// keyed: order-free on both counts.
+func decayValues(m map[uint64]float64, decay float64) {
+	for k, c := range m {
+		c *= decay
+		m[k] = c
+	}
+}
+
+// perIteration accumulates into a local declared inside the region:
+// fresh every iteration, deterministic.
+func perIteration(m map[string]float64) float64 {
+	peak := 0.0
+	for _, v := range m {
+		scaled := v * 2
+		scaled += 1
+		if scaled > peak {
+			peak = scaled
+		}
+	}
+	return peak
+}
+
+// intFold accumulates integers: exact arithmetic, never flagged.
+func intFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedFold is the mechanical fix: collect keys, sort, fold a
+// canonical-order slice. The slice range is not a region.
+func sortedFold(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// fanFold accumulates across FanOut callbacks that complete in any
+// order.
+func fanFold(vals []float64) float64 {
+	var sum float64
+	FanOut(len(vals), func(i int) {
+		sum += vals[i] // want `float accumulation into sum inside FanOut callback folds in nondeterministic order`
+	})
+	return sum
+}
+
+// perIndex writes each callback's own slot: no fold, no finding.
+func perIndex(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	FanOut(len(vals), func(i int) {
+		out[i] = vals[i] * 2
+	})
+	return out
+}
+
+// goFold accumulates inside a go statement's function literal.
+func goFold(vals []float64, done chan struct{}) float64 {
+	var sum float64
+	go func() {
+		for _, v := range vals {
+			sum += v // want `float accumulation into sum inside goroutine folds in nondeterministic order`
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+// suppressed documents a fold whose inputs make float addition exact.
+func suppressed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:allow floatfold fixture: inputs are small powers of two, so the sums are exact in float64
+		total += v
+	}
+	return total
+}

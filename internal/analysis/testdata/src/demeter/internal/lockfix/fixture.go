@@ -1,0 +1,120 @@
+// Package lockfix exercises the lockorder analyzer: re-entry (direct
+// and through a callee), AB/BA lock-order cycles, and locks held
+// across blocking operations, all under an internal/ path so reporting
+// is enabled.
+package lockfix
+
+import "sync"
+
+var mu sync.Mutex
+var aMu sync.Mutex
+var bMu sync.Mutex
+
+// reenter acquires mu twice on one path: a guaranteed self-deadlock.
+func reenter() {
+	mu.Lock()
+	mu.Lock() // want `lock lockfix\.mu acquired while already held \(re-entry self-deadlocks a sync mutex\)`
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// branchy may hold mu at the second Lock (the if branch joins in):
+// the dataflow is may-hold, so the union at the join still reports.
+func branchy(cond bool) {
+	if cond {
+		mu.Lock()
+	}
+	mu.Lock() // want `lock lockfix\.mu acquired while already held \(re-entry self-deadlocks a sync mutex\)`
+	mu.Unlock()
+	if cond {
+		mu.Unlock()
+	}
+}
+
+// sequential releases before re-acquiring: flow-sensitivity must keep
+// this silent.
+func sequential() {
+	mu.Lock()
+	mu.Unlock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+// lockedHelper acquires mu itself; callers holding mu re-enter.
+func lockedHelper() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func callReenter() {
+	mu.Lock()
+	lockedHelper() // want `call to lockedHelper may acquire lock lockfix\.mu already held here \(re-entry self-deadlocks a sync mutex\)`
+	mu.Unlock()
+}
+
+// lockAB and lockBA acquire aMu and bMu in opposite orders: the classic
+// AB/BA deadlock, reported once at the cycle's lexically first edge.
+func lockAB() {
+	aMu.Lock()
+	bMu.Lock() // want `lock-order cycle among \{lockfix\.aMu, lockfix\.bMu\}: lockfix\.bMu is acquired while holding lockfix\.aMu here, and the reverse order occurs elsewhere`
+	bMu.Unlock()
+	aMu.Unlock()
+}
+
+func lockBA() {
+	bMu.Lock()
+	aMu.Lock()
+	aMu.Unlock()
+	bMu.Unlock()
+}
+
+// blockHeld receives from a channel while holding mu.
+func blockHeld(ch chan int) int {
+	mu.Lock()
+	v := <-ch // want `lock lockfix\.mu held across blocking channel receive`
+	mu.Unlock()
+	return v
+}
+
+// waits blocks by contract; holding a lock across a call to it is as
+// bad as blocking inline, and the summary propagation must see it.
+func waits(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func blockViaCall(wg *sync.WaitGroup) {
+	mu.Lock()
+	waits(wg) // want `lock lockfix\.mu held across call to waits, which may block on sync\.WaitGroup\.Wait`
+	mu.Unlock()
+}
+
+// suppressed documents a deliberate double-acquire.
+func suppressed() {
+	mu.Lock()
+	//lint:allow lockorder fixture: pretend a generation check upstream makes the re-acquire unreachable
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// shard shows field-mutex identity: consistent single acquisition per
+// instance stays silent.
+type shard struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (s *shard) bump() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+// deferredOnly takes mu and releases at exit; the deferred Unlock does
+// not clear the held set, but with no later acquire or block there is
+// nothing to report.
+func deferredOnly() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}

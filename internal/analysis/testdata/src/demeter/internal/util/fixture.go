@@ -1,0 +1,12 @@
+// Package util proves crossshard's package gating: calls is mutable
+// and reachable from the fixture engine, but "util" is not a
+// simulation package, so nothing is reported here.
+package util
+
+var calls int
+
+// Bump mutates package state; only simulation packages are in scope.
+func Bump() int {
+	calls++
+	return calls
+}

@@ -1,0 +1,45 @@
+// Package workload impersonates a simulation package reachable from
+// the fixture engine's run path: mutable package state here is exactly
+// what stops the engine from sharding.
+package workload
+
+var cursor int // want `package-level mutable state cursor \(written by Advance\) is reachable from engine/experiments run paths via engine\.Run → Advance; shards cannot run concurrently over it`
+
+// Advance mutates shared package state on the run path.
+func Advance() int {
+	cursor++
+	return cursor
+}
+
+// Step only reads the init-seeded table: reads alone are shard-safe.
+func Step() int {
+	return weights["hot"]
+}
+
+// weights is seeded by init and never written afterwards, so it is not
+// mutable state and stays silent.
+var weights map[string]int
+
+func init() {
+	weights = map[string]int{"hot": 1, "cold": 2}
+}
+
+// orphanTally is written only by a function nothing on the run path
+// reaches, so it stays silent too.
+var orphanTally int
+
+func orphanBump() int {
+	orphanTally++
+	return orphanTally
+}
+
+// tuning is written on the run path, but the documented allow records
+// why that is shard-safe.
+//
+//lint:allow crossshard fixture: rewritten wholesale before runs start and read-only while the engine executes
+var tuning = map[string]float64{}
+
+// SetTuning is called from the fixture engine before stepping.
+func SetTuning(k string, v float64) {
+	tuning[k] = v
+}

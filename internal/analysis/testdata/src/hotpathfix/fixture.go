@@ -25,7 +25,8 @@ func clean(c *counter, xs []int) int {
 }
 
 // unchecked contains every forbidden construct but carries no
-// annotation, so nothing is reported.
+// annotation and is never called from annotated code, so neither the
+// direct check nor the interprocedural call-tree walk reaches it.
 func unchecked(m map[int]int, s string) func() {
 	fmt.Println(len(m))
 	m[1] = 2
@@ -34,6 +35,50 @@ func unchecked(m map[int]int, s string) func() {
 	sink(42)
 	return func() {}
 }
+
+// chainRoot is the only annotated function of this cluster; hop1 and
+// hop2 carry no annotations, yet the call-tree walk must reach hop2's
+// allocation and report the chain that gets there.
+//
+//demeter:hotpath
+func chainRoot(n int) int { return hop1(n) }
+
+func hop1(n int) int { return hop2(n) + 1 }
+
+func hop2(n int) int {
+	buf := make([]int, n) // want `make in hot path hop2 allocates \(hot-path tree: chainRoot → hop1 → hop2\)`
+	return len(buf)
+}
+
+// refill allocates, but is a declared slow path: the walk from
+// coldCaller stops at the //demeter:coldpath boundary and stays silent.
+//
+//demeter:coldpath
+func refill(n int) []int { return make([]int, n) }
+
+//demeter:hotpath
+func coldCaller(n int) int { return len(refill(n)) }
+
+// stepper is dispatched through an interface from an annotated root;
+// the walk resolves in-module implementers, so concrete step bodies
+// are checked without annotations of their own.
+type stepper interface{ step(n int) int }
+
+type allocStep struct{}
+
+func (allocStep) step(n int) int {
+	return len(make([]byte, n)) // want `make in hot path allocStep.step allocates \(hot-path tree: ifaceRoot → allocStep.step\)`
+}
+
+type cleanStep struct{ acc int }
+
+func (s *cleanStep) step(n int) int {
+	s.acc += n
+	return s.acc
+}
+
+//demeter:hotpath
+func ifaceRoot(s stepper, n int) int { return s.step(n) }
 
 //demeter:hotpath
 func dirty(c *counter, xs []int, s string, m map[int]int) {

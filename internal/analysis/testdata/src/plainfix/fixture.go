@@ -1,10 +1,11 @@
 // Package plainfix proves package gating: it is neither a simulation
-// package nor under internal/, so simdet and errpropagate must stay
-// silent on patterns they would flag elsewhere.
+// package nor under internal/, so simdet, errpropagate, lockorder and
+// floatfold must stay silent on patterns they would flag elsewhere.
 package plainfix
 
 import (
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -21,4 +22,25 @@ func NewThing() (int, error) {
 func drop() int {
 	v, _ := NewThing()
 	return v
+}
+
+// heldAcross holds a mutex across a channel receive — a lockorder
+// finding under internal/, silent here.
+var plainMu sync.Mutex
+
+func heldAcross(ch chan int) int {
+	plainMu.Lock()
+	v := <-ch
+	plainMu.Unlock()
+	return v
+}
+
+// plainFold accumulates floats in map order — a floatfold finding
+// under internal/, silent here.
+func plainFold(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
 }

@@ -1,0 +1,20 @@
+// Package stalefix exercises stale-suppression detection: one
+// directive suppresses a real hotpath finding and stays quiet, the
+// other names an analyzer that reports nothing on its line and must be
+// flagged as stale — but only in runs where that analyzer actually ran.
+package stalefix
+
+// leftover carries a directive for a finding that no longer exists.
+//
+//lint:allow mapiter fixture: the loop this suppressed was rewritten long ago
+var leftover = []int{1, 2, 3}
+
+// grow's append is a genuine hotpath finding; its allow is used, not
+// stale.
+//
+//demeter:hotpath
+func grow(xs []int) []int {
+	//lint:allow hotpath fixture: the caller preallocates xs to full capacity
+	xs = append(xs, len(leftover))
+	return xs
+}

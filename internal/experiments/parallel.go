@@ -21,6 +21,7 @@ import (
 // workerTokens is the global leaf-run semaphore; nil means sequential.
 // Only leaf jobs acquire tokens — the per-experiment coordinators in
 // RunExperiments are token-free — so nested fan-out cannot deadlock.
+//lint:allow crossshard atomic pointer swapped by SetParallelism before runs start; workers only Load it
 var workerTokens atomic.Pointer[chan struct{}]
 
 // SetParallelism configures the worker pool for subsequent runs: n > 1
@@ -106,6 +107,7 @@ func FanOut(n int, job func(i int)) {
 // benchAccesses tallies guest memory accesses at the audit chokepoint
 // every run passes through on teardown; the bench harness reads it to
 // report accesses/sec per experiment.
+//lint:allow crossshard monotone atomic tally folded at teardown; commutative adds cannot perturb reports
 var benchAccesses atomic.Uint64
 
 // TakeBenchAccesses returns the accesses accumulated since the last call

@@ -16,6 +16,7 @@ type Experiment struct {
 	Run func(s Scale) string
 }
 
+//lint:allow crossshard seeded by package init via register and read-only afterwards
 var registry = map[string]Experiment{}
 
 func register(e Experiment) {

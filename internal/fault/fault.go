@@ -42,6 +42,7 @@ type Info struct {
 	DefaultMagnitude float64
 }
 
+//lint:allow crossshard seeded by each layer's package init via Register and read-only afterwards
 var registry = map[Point]Info{}
 
 // Register declares an injection point. Each layer registers its points

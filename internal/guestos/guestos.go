@@ -102,19 +102,27 @@ func (k *Kernel) Processes() []*Process { return k.procs }
 // default local-first order), then falling back across nodes. The second
 // result is the node the frame came from.
 func (k *Kernel) AllocPage(preferred int) (mem.Frame, int, bool) {
-	order := k.allocOrder
+	// preferred is tried inline rather than prepended to a fresh slice:
+	// this runs on the fault path and must not allocate.
+	fallback := false
 	if preferred >= 0 {
-		order = append([]int{preferred}, k.allocOrder...)
+		n := k.Topo.Nodes[preferred]
+		if f, ok := n.Alloc(); ok {
+			k.stats.AllocsPerNode[preferred]++
+			return f, preferred, true
+		}
+		fallback = true
 	}
-	for i, nid := range order {
+	for _, nid := range k.allocOrder {
 		n := k.Topo.Nodes[nid]
 		if f, ok := n.Alloc(); ok {
-			if i > 0 {
+			if fallback {
 				k.stats.OOMFallbacks++
 			}
 			k.stats.AllocsPerNode[nid]++
 			return f, nid, true
 		}
+		fallback = true
 	}
 	return mem.InvalidFrame, -1, false
 }

@@ -202,6 +202,12 @@ func (t *Table) LookupValues(keys, out []uint64) {
 // Map installs key→value. Mapping an already-present key panics: the
 // simulated kernels always unmap before remapping, and silent overwrite
 // would hide migration accounting bugs.
+//
+// Map is a deliberate slow path off the access fast path: installing a
+// translation happens once per faulted page and grows the table's leaf
+// blocks structurally, so the hotpath call-tree walk stops here.
+//
+//demeter:coldpath
 func (t *Table) Map(key, value uint64) *Entry {
 	blockKey := key >> blockShift
 	b := t.blockFor(blockKey)
